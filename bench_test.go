@@ -1,0 +1,62 @@
+// Top-level benchmark harness: one benchmark per experiment in DESIGN.md's
+// index (E1–E15, A1–A4). Each iteration regenerates the experiment's table
+// at quick scale, so `go test -bench=.` re-derives every reproduced result.
+// Per-module micro-benchmarks live next to their packages.
+package powersched_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 42, Quick: true}
+	var run func(experiments.Config) interface {
+		WriteTo(io.Writer) (int64, error)
+	}
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			e := e
+			run = func(c experiments.Config) interface {
+				WriteTo(io.Writer) (int64, error)
+			} {
+				return e.Run(c)
+			}
+			break
+		}
+	}
+	if run == nil {
+		b.Fatalf("no experiment %s", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := run(cfg)
+		if _, err := tbl.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1BudgetedGreedy(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2ScheduleAll(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3PrizeCollecting(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4ExactThreshold(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5Classical(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6MonotoneSecretary(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7NonMonotone(b *testing.B)         { benchExperiment(b, "E7") }
+func BenchmarkE8MatroidSecretary(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9KnapsackSecretary(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10Subadditive(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11Bottleneck(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12HardnessReduction(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13GapDP(b *testing.B)              { benchExperiment(b, "E13") }
+func BenchmarkE14OnlinePowerDown(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15GammaOblivious(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkA1LazyGreedy(b *testing.B)          { benchExperiment(b, "A1") }
+func BenchmarkA2CandidatePolicy(b *testing.B)     { benchExperiment(b, "A2") }
+func BenchmarkA3IncrementalMatching(b *testing.B) { benchExperiment(b, "A3") }
+func BenchmarkA4EpsilonSweep(b *testing.B)        { benchExperiment(b, "A4") }

@@ -1,0 +1,43 @@
+// Command experiments regenerates the thesis-validation tables E1–E15 and
+// ablations A1–A4 (see DESIGN.md §2 for the index and EXPERIMENTS.md for
+// recorded output).
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] [-exp E1,E6,A3] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "base RNG seed (runs are deterministic per seed)")
+	quick := flag.Bool("quick", false, "smaller sweeps and trial counts")
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var ids []string
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if err := experiments.RunAll(os.Stdout, cfg, ids); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,164 @@
+// Command powersched solves a power-scheduling instance given as JSON on
+// stdin (or a file argument) and writes the schedule as JSON to stdout.
+//
+// Instance schema:
+//
+//	{
+//	  "procs": 2, "horizon": 24,
+//	  "cost": {"model": "affine", "alpha": 2, "rate": 1},
+//	  "jobs": [{"value": 1, "allowed": [{"proc": 0, "time": 3}, ...]}, ...],
+//	  "mode": "all" | "prize" | "prize-exact",
+//	  "z": 10.0, "eps": 0.1
+//	}
+//
+// Cost models: "affine" {alpha, rate}; "perproc" {alphas, rates};
+// "timeofuse" {alphas, rates, price}; "superlinear" {alpha, rate, fan, exp}.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	powersched "repro"
+	"repro/internal/power"
+)
+
+type costSpec struct {
+	Model  string    `json:"model"`
+	Alpha  float64   `json:"alpha"`
+	Rate   float64   `json:"rate"`
+	Fan    float64   `json:"fan"`
+	Exp    float64   `json:"exp"`
+	Alphas []float64 `json:"alphas"`
+	Rates  []float64 `json:"rates"`
+	Price  []float64 `json:"price"`
+}
+
+type slotSpec struct {
+	Proc int `json:"proc"`
+	Time int `json:"time"`
+}
+
+type jobSpec struct {
+	Value   float64    `json:"value"`
+	Allowed []slotSpec `json:"allowed"`
+}
+
+type instanceSpec struct {
+	Procs   int       `json:"procs"`
+	Horizon int       `json:"horizon"`
+	Cost    costSpec  `json:"cost"`
+	Jobs    []jobSpec `json:"jobs"`
+	Mode    string    `json:"mode"`
+	Z       float64   `json:"z"`
+	Eps     float64   `json:"eps"`
+}
+
+type scheduleOut struct {
+	Intervals []intervalOut `json:"intervals"`
+	Jobs      []jobOut      `json:"jobs"`
+	Cost      float64       `json:"cost"`
+	Value     float64       `json:"value"`
+	Scheduled int           `json:"scheduled"`
+}
+
+type intervalOut struct {
+	Proc  int `json:"proc"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+type jobOut struct {
+	Job       int  `json:"job"`
+	Scheduled bool `json:"scheduled"`
+	Proc      int  `json:"proc,omitempty"`
+	Time      int  `json:"time,omitempty"`
+}
+
+func buildCost(spec costSpec) (powersched.CostModel, error) {
+	switch spec.Model {
+	case "affine", "":
+		return powersched.Affine{Alpha: spec.Alpha, Rate: spec.Rate}, nil
+	case "perproc":
+		return power.NewPerProcessor(spec.Alphas, spec.Rates), nil
+	case "timeofuse":
+		return powersched.NewTimeOfUse(spec.Alphas, spec.Rates, spec.Price), nil
+	case "superlinear":
+		return powersched.Superlinear{Alpha: spec.Alpha, Rate: spec.Rate, Fan: spec.Fan, Exp: spec.Exp}, nil
+	default:
+		return nil, fmt.Errorf("unknown cost model %q", spec.Model)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	var spec instanceSpec
+	if err := json.NewDecoder(in).Decode(&spec); err != nil {
+		return fmt.Errorf("decoding instance: %w", err)
+	}
+	cost, err := buildCost(spec.Cost)
+	if err != nil {
+		return err
+	}
+	ins := &powersched.Instance{
+		Procs: spec.Procs, Horizon: spec.Horizon, Cost: cost,
+	}
+	for _, j := range spec.Jobs {
+		job := powersched.Job{Value: j.Value}
+		if job.Value == 0 {
+			job.Value = 1
+		}
+		for _, s := range j.Allowed {
+			job.Allowed = append(job.Allowed, powersched.SlotKey{Proc: s.Proc, Time: s.Time})
+		}
+		ins.Jobs = append(ins.Jobs, job)
+	}
+	opts := powersched.Options{Eps: spec.Eps}
+	var s *powersched.Schedule
+	switch spec.Mode {
+	case "all", "":
+		opts.Fast = true
+		s, err = powersched.ScheduleAll(ins, opts)
+	case "prize":
+		s, err = powersched.PrizeCollecting(ins, spec.Z, opts)
+	case "prize-exact":
+		s, err = powersched.PrizeCollectingExact(ins, spec.Z, opts)
+	default:
+		return fmt.Errorf("unknown mode %q", spec.Mode)
+	}
+	if err != nil {
+		return err
+	}
+	o := scheduleOut{Cost: s.Cost, Value: s.Value, Scheduled: s.Scheduled}
+	for _, iv := range s.Intervals {
+		o.Intervals = append(o.Intervals, intervalOut{Proc: iv.Proc, Start: iv.Start, End: iv.End})
+	}
+	for j, a := range s.Assignment {
+		jo := jobOut{Job: j, Scheduled: a != powersched.Unassigned}
+		if jo.Scheduled {
+			jo.Proc, jo.Time = a.Proc, a.Time
+		}
+		o.Jobs = append(o.Jobs, jo)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powersched:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "powersched:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func solve(t *testing.T, input string) scheduleOut {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(input), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out scheduleOut
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func TestRunAffineAll(t *testing.T) {
+	out := solve(t, `{
+		"procs": 1, "horizon": 6,
+		"cost": {"model": "affine", "alpha": 2, "rate": 1},
+		"jobs": [
+			{"allowed": [{"proc": 0, "time": 1}, {"proc": 0, "time": 2}]},
+			{"allowed": [{"proc": 0, "time": 2}, {"proc": 0, "time": 3}]}
+		]
+	}`)
+	if out.Scheduled != 2 {
+		t.Fatalf("scheduled %d", out.Scheduled)
+	}
+	if out.Cost != 4 { // one interval [1,3): 2 + 2
+		t.Fatalf("cost %v, want 4", out.Cost)
+	}
+	if len(out.Intervals) != 1 {
+		t.Fatalf("intervals %v", out.Intervals)
+	}
+}
+
+func TestRunDefaultsModelAndMode(t *testing.T) {
+	// Omitted cost model defaults to affine; omitted mode to "all";
+	// omitted job value to 1.
+	out := solve(t, `{
+		"procs": 1, "horizon": 3,
+		"cost": {"alpha": 1, "rate": 1},
+		"jobs": [{"allowed": [{"proc": 0, "time": 0}]}]
+	}`)
+	if out.Scheduled != 1 || out.Value != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestRunTimeOfUsePrize(t *testing.T) {
+	out := solve(t, `{
+		"procs": 1, "horizon": 4,
+		"cost": {"model": "timeofuse", "alphas": [1], "rates": [1], "price": [1, 9, 9, 1]},
+		"jobs": [
+			{"value": 5, "allowed": [{"proc": 0, "time": 0}]},
+			{"value": 1, "allowed": [{"proc": 0, "time": 1}]}
+		],
+		"mode": "prize", "z": 5, "eps": 0.1
+	}`)
+	if out.Value < 4.5 {
+		t.Fatalf("value %v", out.Value)
+	}
+	// The cheap job at peak price should be skipped.
+	if out.Scheduled != 1 {
+		t.Fatalf("scheduled %d, want 1", out.Scheduled)
+	}
+}
+
+func TestRunPrizeExact(t *testing.T) {
+	out := solve(t, `{
+		"procs": 2, "horizon": 4,
+		"cost": {"model": "perproc", "alphas": [1, 5], "rates": [1, 1]},
+		"jobs": [
+			{"value": 3, "allowed": [{"proc": 0, "time": 0}, {"proc": 1, "time": 0}]},
+			{"value": 3, "allowed": [{"proc": 0, "time": 1}]}
+		],
+		"mode": "prize-exact", "z": 6
+	}`)
+	if out.Value < 6 {
+		t.Fatalf("value %v < Z", out.Value)
+	}
+	for _, iv := range out.Intervals {
+		if iv.Proc == 1 {
+			t.Fatalf("used the expensive processor: %+v", out.Intervals)
+		}
+	}
+}
+
+func TestRunSuperlinear(t *testing.T) {
+	out := solve(t, `{
+		"procs": 1, "horizon": 4,
+		"cost": {"model": "superlinear", "alpha": 1, "rate": 1, "fan": 0.5, "exp": 2},
+		"jobs": [{"allowed": [{"proc": 0, "time": 0}]}]
+	}`)
+	if out.Cost != 1+1+0.5 {
+		t.Fatalf("cost %v, want 2.5", out.Cost)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{"procs": `,
+		"unknown model": `{"procs":1,"horizon":2,"cost":{"model":"quantum"},"jobs":[]}`,
+		"unknown mode":  `{"procs":1,"horizon":2,"cost":{},"jobs":[],"mode":"noop"}`,
+		"unschedulable": `{"procs":1,"horizon":2,"cost":{},"jobs":[{"allowed":[{"proc":0,"time":0}]},{"allowed":[{"proc":0,"time":0}]}]}`,
+		"z unreachable": `{"procs":1,"horizon":2,"cost":{},"jobs":[{"value":1,"allowed":[{"proc":0,"time":0}]}],"mode":"prize","z":99}`,
+	}
+	for name, input := range cases {
+		var buf bytes.Buffer
+		if err := run(strings.NewReader(input), &buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

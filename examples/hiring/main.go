@@ -1,0 +1,53 @@
+// Hiring: the submodular secretary problem of thesis Chapter 3. A company
+// interviews candidates one by one; the utility of a team is the coverage
+// of skills it brings (monotone submodular). Algorithm 1 hires at most one
+// candidate per stream segment and is constant-competitive with the
+// offline greedy that sees everyone up front.
+//
+//	go run ./examples/hiring
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	powersched "repro"
+	"repro/internal/secretary"
+	"repro/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+	const (
+		candidates = 40
+		skills     = 80
+		k          = 6 // positions to fill
+		trials     = 200
+	)
+	// Each candidate covers a random skill subset.
+	f := workload.Coverage(rng, candidates, skills, 0.12)
+
+	offline := secretary.OfflineGreedyCardinality(f, k)
+	offlineVal := f.Eval(offline)
+
+	sum := 0.0
+	worst := offlineVal
+	for trial := 0; trial < trials; trial++ {
+		order := rng.Perm(candidates) // random arrival order
+		team := powersched.SubmodularSecretary(f, order, k)
+		v := f.Eval(team)
+		sum += v
+		if v < worst {
+			worst = v
+		}
+	}
+	avg := sum / trials
+
+	fmt.Printf("offline greedy team covers %.0f skills (of %d)\n", offlineVal, skills)
+	fmt.Printf("online Algorithm 1 over %d random arrival orders:\n", trials)
+	fmt.Printf("  average coverage %.1f (%.0f%% of offline)\n", avg, 100*avg/offlineVal)
+	fmt.Printf("  worst coverage   %.1f\n", worst)
+	fmt.Printf("  proven worst-case floor: (1-1/e)/7e ≈ %.3f of optimum\n", (1-1/2.718281828)/(7*2.718281828))
+	fmt.Println("\nthe measured ratio sits far above the proof's constant — the")
+	fmt.Println("pessimism is in the analysis, not the algorithm (Theorem 3.2.5).")
+}

@@ -1,0 +1,69 @@
+// Maintenance: when blocked slots make a workload infeasible, the
+// scheduler returns a Hall witness — the exact set of jobs that compete
+// for fewer slots than their number — instead of a bare failure. The
+// operator reads the witness, adds capacity, and reschedules.
+//
+//	go run ./examples/maintenance
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	powersched "repro"
+)
+
+func main() {
+	// Three jobs crowd the 9-11am window on processor 0 — and maintenance
+	// takes one of the two slots away, so only one usable slot remains.
+	window := func(proc, lo, hi int) []powersched.SlotKey {
+		var out []powersched.SlotKey
+		for t := lo; t < hi; t++ {
+			out = append(out, powersched.SlotKey{Proc: proc, Time: t})
+		}
+		return out
+	}
+	base := powersched.Affine{Alpha: 2, Rate: 1}
+	blocked := powersched.NewUnavailable(base, 12)
+	blocked.Block(0, 10) // maintenance takes slot 10 away
+
+	ins := &powersched.Instance{
+		Procs:   1,
+		Horizon: 12,
+		Jobs: []powersched.Job{
+			{Value: 1, Allowed: window(0, 9, 11)},
+			{Value: 1, Allowed: window(0, 9, 11)},
+			{Value: 1, Allowed: window(0, 10, 11)},
+		},
+		Cost: blocked,
+	}
+
+	_, err := powersched.ScheduleAll(ins, powersched.Options{})
+	if !errors.Is(err, powersched.ErrUnschedulable) {
+		log.Fatalf("expected infeasibility, got %v", err)
+	}
+	fmt.Println("scheduling failed as expected:")
+	fmt.Println(" ", err)
+
+	// The three jobs need three slots in [9,11) — only two exist even
+	// before maintenance. Add a second processor covering the window.
+	fmt.Println("\nadding a standby processor for the window...")
+	ins.Procs = 2
+	for j := range ins.Jobs {
+		ins.Jobs[j].Allowed = append(ins.Jobs[j].Allowed, window(1, 9, 11)...)
+	}
+	s, err := powersched.ScheduleAll(ins, powersched.Options{Fast: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s = powersched.Improve(ins, s)
+	fmt.Printf("rescheduled: %d/%d jobs at energy %.1f\n", s.Scheduled, len(ins.Jobs), s.Cost)
+	for _, iv := range s.Intervals {
+		fmt.Printf("  processor %d awake [%d, %d)\n", iv.Proc, iv.Start, iv.End)
+	}
+	if err := s.Validate(ins); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schedule validated ✓")
+}

@@ -1,0 +1,52 @@
+// Quickstart: schedule three jobs on one processor with the classical
+// "restart cost α plus length" energy model and print the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powersched "repro"
+)
+
+func main() {
+	// One processor, 12 slots. Jobs 0 and 1 overlap in the morning; job 2
+	// can only run in the evening.
+	window := func(lo, hi int) []powersched.SlotKey {
+		var out []powersched.SlotKey
+		for t := lo; t < hi; t++ {
+			out = append(out, powersched.SlotKey{Proc: 0, Time: t})
+		}
+		return out
+	}
+	ins := &powersched.Instance{
+		Procs:   1,
+		Horizon: 12,
+		Jobs: []powersched.Job{
+			{Value: 1, Allowed: window(0, 4)},
+			{Value: 1, Allowed: window(2, 6)},
+			{Value: 1, Allowed: window(9, 12)},
+		},
+		Cost: powersched.Affine{Alpha: 3, Rate: 1}, // wake cost 3, 1 energy/slot
+	}
+
+	s, err := powersched.ScheduleAll(ins, powersched.Options{Fast: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduled %d/%d jobs, total energy %.1f\n", s.Scheduled, len(ins.Jobs), s.Cost)
+	fmt.Println("awake intervals:")
+	for _, iv := range s.Intervals {
+		fmt.Printf("  processor %d awake [%d, %d)\n", iv.Proc, iv.Start, iv.End)
+	}
+	for j, a := range s.Assignment {
+		fmt.Printf("  job %d -> processor %d, slot %d\n", j, a.Proc, a.Time)
+	}
+	if err := s.Validate(ins); err != nil {
+		log.Fatal("schedule failed validation: ", err)
+	}
+	fmt.Println("schedule validated ✓")
+}

@@ -1,0 +1,377 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// bruteMatch computes the maximum matching restricted to the enabled X
+// vertices by exhaustive recursion (small graphs only).
+func bruteMatch(g *Graph, enabled *bitset.Set) int {
+	xs := enabled.Elements()
+	var rec func(i int, usedY uint64) int
+	rec = func(i int, usedY uint64) int {
+		if i == len(xs) {
+			return 0
+		}
+		best := rec(i+1, usedY) // leave xs[i] unmatched
+		for _, y := range g.adjX[xs[i]] {
+			if usedY&(1<<uint(y)) == 0 {
+				if v := 1 + rec(i+1, usedY|1<<uint(y)); v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	}
+	return rec(0, 0)
+}
+
+// bruteWeighted computes the maximum total Y-weight matching restricted to
+// enabled X vertices by exhaustive recursion.
+func bruteWeighted(g *Graph, wy []float64, enabled *bitset.Set) float64 {
+	xs := enabled.Elements()
+	var rec func(i int, usedY uint64) float64
+	rec = func(i int, usedY uint64) float64 {
+		if i == len(xs) {
+			return 0
+		}
+		best := rec(i+1, usedY)
+		for _, y := range g.adjX[xs[i]] {
+			if usedY&(1<<uint(y)) == 0 {
+				if v := wy[y] + rec(i+1, usedY|1<<uint(y)); v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	}
+	return rec(0, 0)
+}
+
+func randomGraph(rng *rand.Rand, nx, ny int, p float64) *Graph {
+	g := NewGraph(nx, ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if rng.Float64() < p {
+				g.AddEdge(x, y)
+			}
+		}
+	}
+	return g
+}
+
+func randomSubset(rng *rand.Rand, n int, p float64) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestMaxMatchingKnown(t *testing.T) {
+	// Perfect matching on K_{3,3}.
+	g := NewGraph(3, 3)
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			g.AddEdge(x, y)
+		}
+	}
+	size, mx, my := MaxMatching(g, nil)
+	if size != 3 {
+		t.Fatalf("K33 matching = %d, want 3", size)
+	}
+	for x := 0; x < 3; x++ {
+		if mx[x] == -1 || my[mx[x]] != int32(x) {
+			t.Fatalf("inconsistent match arrays: %v %v", mx, my)
+		}
+	}
+}
+
+func TestMaxMatchingStar(t *testing.T) {
+	// One Y vertex shared by many X: matching size 1.
+	g := NewGraph(5, 1)
+	for x := 0; x < 5; x++ {
+		g.AddEdge(x, 0)
+	}
+	size, _, _ := MaxMatching(g, nil)
+	if size != 1 {
+		t.Fatalf("star matching = %d, want 1", size)
+	}
+}
+
+func TestMaxMatchingRestricted(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	en := bitset.FromSlice(2, []int{0})
+	size, mx, _ := MaxMatching(g, en)
+	if size != 1 {
+		t.Fatalf("restricted matching = %d, want 1", size)
+	}
+	if mx[1] != -1 {
+		t.Fatal("disabled vertex was matched")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph(0, 0)
+	if size, _, _ := MaxMatching(g, nil); size != 0 {
+		t.Fatal("empty graph matching nonzero")
+	}
+	m := NewMatcher(g)
+	if m.Size() != 0 {
+		t.Fatal("empty matcher nonzero")
+	}
+}
+
+func TestQuickHopcroftKarpVsBrute(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 1+rng.Intn(8), 1+rng.Intn(8), 0.4)
+		en := randomSubset(rng, g.NX(), 0.7)
+		size, _, _ := MaxMatching(g, en)
+		return size == bruteMatch(g, en)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatcherVsHopcroftKarp(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 1+rng.Intn(25), 1+rng.Intn(25), 0.25)
+		m := NewMatcher(g)
+		order := rng.Perm(g.NX())
+		for _, x := range order[:rng.Intn(g.NX()+1)] {
+			m.Enable(x)
+		}
+		want, _, _ := MaxMatching(g, m.Enabled())
+		return m.Size() == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainOfSetMatchesCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng, 12, 10, 0.3)
+		m := NewMatcher(g)
+		for x := 0; x < 6; x++ {
+			m.Enable(rng.Intn(12))
+		}
+		before := m.Size()
+		var probe []int
+		for i := 0; i < 4; i++ {
+			probe = append(probe, rng.Intn(12))
+		}
+		gain := m.GainOfSet(probe)
+		if m.Size() != before {
+			t.Fatal("GainOfSet mutated matcher size")
+		}
+		enabledBefore := m.Enabled().Clone()
+		commit := m.EnableSet(probe)
+		if gain != commit {
+			t.Fatalf("GainOfSet = %d but commit gained %d", gain, commit)
+		}
+		// Enabled set grew exactly by probe.
+		for _, x := range probe {
+			if !m.Enabled().Contains(x) {
+				t.Fatal("commit did not enable probe vertex")
+			}
+		}
+		_ = enabledBefore
+	}
+}
+
+func TestGainOfSetDoesNotMutateEnabled(t *testing.T) {
+	g := NewGraph(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 2)
+	m := NewMatcher(g)
+	m.Enable(0)
+	before := m.Enabled().Clone()
+	m.GainOfSet([]int{1, 2})
+	if !m.Enabled().Equal(before) {
+		t.Fatal("GainOfSet mutated enabled set")
+	}
+}
+
+// TestQuickMatchingSubmodular is Lemma 2.2.2 verified empirically:
+// F(A)+F(B) >= F(A∪B)+F(A∩B) for the restricted matching function.
+func TestQuickMatchingSubmodular(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(12), 2+rng.Intn(10), 0.35)
+		a := randomSubset(rng, g.NX(), 0.5)
+		b := randomSubset(rng, g.NX(), 0.5)
+		fa, _, _ := MaxMatching(g, a)
+		fb, _, _ := MaxMatching(g, b)
+		fu, _, _ := MaxMatching(g, bitset.Union(a, b))
+		fi, _, _ := MaxMatching(g, bitset.Intersect(a, b))
+		return fa+fb >= fu+fi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatchingMonotone: F is monotone (more slots never hurt).
+func TestQuickMatchingMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(12), 2+rng.Intn(10), 0.35)
+		a := randomSubset(rng, g.NX(), 0.4)
+		b := bitset.Union(a, randomSubset(rng, g.NX(), 0.4))
+		fa, _, _ := MaxMatching(g, a)
+		fb, _, _ := MaxMatching(g, b)
+		return fa <= fb
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWeightedVsBrute(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 1+rng.Intn(8), 1+rng.Intn(7), 0.4)
+		wy := make([]float64, g.NY())
+		for i := range wy {
+			wy[i] = float64(rng.Intn(10))
+		}
+		en := randomSubset(rng, g.NX(), 0.7)
+		order := WeightedOrder(wy)
+		got, _, _ := WeightedValue(g, wy, order, en)
+		want := bruteWeighted(g, wy, en)
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWeightedSubmodular is Lemma 2.3.2 verified empirically.
+func TestQuickWeightedSubmodular(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(10), 2+rng.Intn(8), 0.35)
+		wy := make([]float64, g.NY())
+		for i := range wy {
+			wy[i] = float64(rng.Intn(8))
+		}
+		order := WeightedOrder(wy)
+		a := randomSubset(rng, g.NX(), 0.5)
+		b := randomSubset(rng, g.NX(), 0.5)
+		fa, _, _ := WeightedValue(g, wy, order, a)
+		fb, _, _ := WeightedValue(g, wy, order, b)
+		fu, _, _ := WeightedValue(g, wy, order, bitset.Union(a, b))
+		fi, _, _ := WeightedValue(g, wy, order, bitset.Intersect(a, b))
+		return fa+fb >= fu+fi-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedOrderStable(t *testing.T) {
+	order := WeightedOrder([]float64{2, 5, 5, 1})
+	want := []int{1, 2, 0, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("WeightedOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWeightedSkipsZeroValueJobs(t *testing.T) {
+	g := NewGraph(1, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	wy := []float64{0, 3}
+	v, _, my := WeightedValue(g, wy, WeightedOrder(wy), nil)
+	if v != 3 {
+		t.Fatalf("value = %v, want 3", v)
+	}
+	if my[0] != -1 {
+		t.Fatal("zero-value job was matched")
+	}
+}
+
+func TestWeightedGain(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	wy := []float64{2, 5}
+	order := WeightedOrder(wy)
+	en := bitset.FromSlice(2, []int{0})
+	base, _, _ := WeightedValue(g, wy, order, en)
+	if base != 2 {
+		t.Fatalf("base = %v", base)
+	}
+	if gain := WeightedGain(g, wy, order, en, []int{1}, base); gain != 5 {
+		t.Fatalf("gain = %v, want 5", gain)
+	}
+}
+
+func TestMatcherClone(t *testing.T) {
+	g := NewGraph(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 2)
+	m := NewMatcher(g)
+	m.Enable(0)
+	c := m.Clone()
+	c.Enable(1)
+	if m.Size() != 1 || c.Size() != 2 {
+		t.Fatalf("clone not independent: %d %d", m.Size(), c.Size())
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 500, 400, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxMatching(g, nil)
+	}
+}
+
+func BenchmarkIncrementalEnable(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 500, 400, 0.02)
+	order := rng.Perm(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMatcher(g)
+		for _, x := range order {
+			m.Enable(x)
+		}
+	}
+}
+
+func BenchmarkWeightedValue(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 300, 200, 0.03)
+	wy := make([]float64, 200)
+	for i := range wy {
+		wy[i] = rng.Float64() * 10
+	}
+	order := WeightedOrder(wy)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WeightedValue(g, wy, order, nil)
+	}
+}

@@ -1,0 +1,59 @@
+package bipartite
+
+import "repro/internal/bitset"
+
+// HallWitness explains why a maximum matching leaves Y vertices
+// unsaturated: it returns a set of Y vertices whose joint neighborhood
+// (within the enabled X vertices) is strictly smaller than the set itself
+// — a violated Hall condition. The scheduling layer surfaces this as
+// "these jobs compete for fewer slots than there are jobs".
+//
+// It returns (nil, nil) when the matching saturates all of Y.
+//
+// Construction: from any unmatched y, alternating BFS (Y→X via any edge,
+// X→Y via matching edges) reaches a set Z; the Y side of Z exceeds the X
+// side by one and all its neighbors lie inside the X side.
+func HallWitness(g *Graph, enabled *bitset.Set) (jobs []int, slots []int) {
+	_, matchX, matchY := MaxMatching(g, enabled)
+	start := -1
+	for y, x := range matchY {
+		if x == -1 {
+			start = y
+			break
+		}
+	}
+	if start == -1 {
+		return nil, nil
+	}
+	inY := make([]bool, g.ny)
+	inX := make([]bool, g.nx)
+	queueY := []int32{int32(start)}
+	inY[start] = true
+	for len(queueY) > 0 {
+		y := queueY[0]
+		queueY = queueY[1:]
+		for _, x := range g.adjY[y] {
+			if !enabledAll(enabled, int(x)) || inX[x] {
+				continue
+			}
+			inX[x] = true
+			// x is matched — otherwise an augmenting path existed and the
+			// matching was not maximum. Follow its matching edge back.
+			if yy := matchX[x]; yy >= 0 && !inY[yy] {
+				inY[yy] = true
+				queueY = append(queueY, yy)
+			}
+		}
+	}
+	for y, in := range inY {
+		if in {
+			jobs = append(jobs, y)
+		}
+	}
+	for x, in := range inX {
+		if in {
+			slots = append(slots, x)
+		}
+	}
+	return jobs, slots
+}

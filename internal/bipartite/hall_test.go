@@ -1,0 +1,78 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestHallWitnessNoneWhenPerfect(t *testing.T) {
+	g := NewGraph(3, 3)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i)
+	}
+	jobs, slots := HallWitness(g, nil)
+	if jobs != nil || slots != nil {
+		t.Fatalf("witness on perfectly matchable graph: %v %v", jobs, slots)
+	}
+}
+
+func TestHallWitnessKnown(t *testing.T) {
+	// Three jobs share two slots.
+	g := NewGraph(2, 3)
+	for y := 0; y < 3; y++ {
+		g.AddEdge(0, y)
+		g.AddEdge(1, y)
+	}
+	jobs, slots := HallWitness(g, nil)
+	if len(jobs) != 3 || len(slots) != 2 {
+		t.Fatalf("witness = %v jobs %v slots, want 3 jobs over 2 slots", jobs, slots)
+	}
+}
+
+// TestQuickHallWitnessValid: whenever Y is not saturated, the witness
+// satisfies |N(jobs)| < |jobs| and N(jobs) ⊆ slots.
+func TestQuickHallWitnessValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.3)
+		en := randomSubset(rng, g.NX(), 0.7)
+		size, _, _ := MaxMatching(g, en)
+		jobs, slots := HallWitness(g, en)
+		if size == g.NY() {
+			return jobs == nil && slots == nil
+		}
+		if len(jobs) == 0 || len(slots) >= len(jobs) {
+			return false
+		}
+		// Every neighbor of a witness job must be a witness slot.
+		slotSet := bitset.FromSlice(g.NX(), slots)
+		for _, y := range jobs {
+			for _, x := range g.NeighborsOfY(y) {
+				if !enabledAll(en, int(x)) {
+					continue
+				}
+				if !slotSet.Contains(int(x)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHallWitnessJobWithNoEdges(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	// Job 1 has no slots at all: witness is {1} over zero slots.
+	jobs, slots := HallWitness(g, nil)
+	if len(jobs) != 1 || jobs[0] != 1 || len(slots) != 0 {
+		t.Fatalf("witness = %v %v, want job 1 alone", jobs, slots)
+	}
+}

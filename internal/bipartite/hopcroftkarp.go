@@ -1,0 +1,77 @@
+package bipartite
+
+import "repro/internal/bitset"
+
+// MaxMatching computes a maximum-cardinality matching using Hopcroft–Karp,
+// restricted to X vertices in enabled (nil enables all of X). It returns
+// the matching size and the match arrays: matchX[x] is the Y partner of x
+// or -1, and matchY[y] is the X partner of y or -1.
+func MaxMatching(g *Graph, enabled *bitset.Set) (int, []int32, []int32) {
+	const inf = int32(1) << 30
+	matchX := make([]int32, g.nx)
+	matchY := make([]int32, g.ny)
+	for i := range matchX {
+		matchX[i] = -1
+	}
+	for i := range matchY {
+		matchY[i] = -1
+	}
+	dist := make([]int32, g.nx)
+	queue := make([]int32, 0, g.nx)
+	size := 0
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for x := 0; x < g.nx; x++ {
+			if !enabledAll(enabled, x) {
+				dist[x] = inf
+				continue
+			}
+			if matchX[x] == -1 {
+				dist[x] = 0
+				queue = append(queue, int32(x))
+			} else {
+				dist[x] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			x := queue[qi]
+			for _, y := range g.adjX[x] {
+				nx := matchY[y]
+				if nx == -1 {
+					found = true
+				} else if dist[nx] == inf {
+					dist[nx] = dist[x] + 1
+					queue = append(queue, nx)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(x int32) bool
+	dfs = func(x int32) bool {
+		for _, y := range g.adjX[x] {
+			nx := matchY[y]
+			if nx == -1 || (dist[nx] == dist[x]+1 && dfs(nx)) {
+				matchX[x] = y
+				matchY[y] = x
+				return true
+			}
+		}
+		dist[x] = inf
+		return false
+	}
+
+	for bfs() {
+		for x := 0; x < g.nx; x++ {
+			if enabledAll(enabled, x) && matchX[x] == -1 && dist[x] == 0 {
+				if dfs(int32(x)) {
+					size++
+				}
+			}
+		}
+	}
+	return size, matchX, matchY
+}

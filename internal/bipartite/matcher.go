@@ -1,0 +1,146 @@
+package bipartite
+
+import "repro/internal/bitset"
+
+// Matcher maintains a maximum matching over a growing enabled subset of X.
+//
+// Enabling one X vertex changes the maximum matching size by 0 or 1
+// (Lemma 2.2.2 gives marginals in {0,1}), so a single augmenting-path
+// search per enabled vertex keeps the matching maximum. The budgeted greedy
+// issues many "what would F(S ∪ Sᵢ) be?" probes; GainOfSet answers them by
+// snapshotting the match arrays, augmenting, and restoring.
+type Matcher struct {
+	g       *Graph
+	enabled *bitset.Set
+	matchX  []int32
+	matchY  []int32
+	size    int
+
+	// visited stamps Y vertices per augmenting search, avoiding O(ny)
+	// clears between searches.
+	visited []int32
+	stamp   int32
+
+	// scratch buffers for GainOfSet snapshots.
+	saveX []int32
+	saveY []int32
+}
+
+// NewMatcher returns a Matcher over g with no X vertices enabled.
+func NewMatcher(g *Graph) *Matcher {
+	m := &Matcher{
+		g:       g,
+		enabled: bitset.New(g.nx),
+		matchX:  make([]int32, g.nx),
+		matchY:  make([]int32, g.ny),
+		visited: make([]int32, g.ny),
+		saveX:   make([]int32, g.nx),
+		saveY:   make([]int32, g.ny),
+	}
+	for i := range m.matchX {
+		m.matchX[i] = -1
+	}
+	for i := range m.matchY {
+		m.matchY[i] = -1
+	}
+	return m
+}
+
+// Size returns the current maximum matching size over the enabled set.
+func (m *Matcher) Size() int { return m.size }
+
+// Enabled returns the enabled X set. The caller must not modify it.
+func (m *Matcher) Enabled() *bitset.Set { return m.enabled }
+
+// MatchOfX returns the Y partner of x, or -1.
+func (m *Matcher) MatchOfX(x int) int { return int(m.matchX[x]) }
+
+// MatchOfY returns the X partner of y, or -1.
+func (m *Matcher) MatchOfY(y int) int { return int(m.matchY[y]) }
+
+// Enable adds x to the enabled set and returns the matching-size gain
+// (0 or 1). Enabling an already-enabled vertex returns 0.
+func (m *Matcher) Enable(x int) int {
+	if m.enabled.Contains(x) {
+		return 0
+	}
+	m.enabled.Add(x)
+	if m.augment(int32(x)) {
+		m.size++
+		return 1
+	}
+	return 0
+}
+
+// EnableSet enables every vertex in xs and returns the total gain.
+func (m *Matcher) EnableSet(xs []int) int {
+	gain := 0
+	for _, x := range xs {
+		gain += m.Enable(x)
+	}
+	return gain
+}
+
+// GainOfSet returns the matching-size gain that enabling xs would produce,
+// without committing the change. The cost is one snapshot/restore of the
+// match arrays plus one augmenting search per genuinely new vertex.
+func (m *Matcher) GainOfSet(xs []int) int {
+	copy(m.saveX, m.matchX)
+	copy(m.saveY, m.matchY)
+	gain := 0
+	added := xs[:0:0] // fresh slice; records temporarily enabled vertices
+	for _, x := range xs {
+		if m.enabled.Contains(x) {
+			continue
+		}
+		m.enabled.Add(x)
+		added = append(added, x)
+		if m.augment(int32(x)) {
+			gain++
+		}
+	}
+	for _, x := range added {
+		m.enabled.Remove(x)
+	}
+	copy(m.matchX, m.saveX)
+	copy(m.matchY, m.saveY)
+	return gain
+}
+
+// Clone returns an independent copy of the matcher (shares the graph).
+func (m *Matcher) Clone() *Matcher {
+	c := &Matcher{
+		g:       m.g,
+		enabled: m.enabled.Clone(),
+		matchX:  append([]int32(nil), m.matchX...),
+		matchY:  append([]int32(nil), m.matchY...),
+		size:    m.size,
+		visited: make([]int32, m.g.ny),
+		saveX:   make([]int32, m.g.nx),
+		saveY:   make([]int32, m.g.ny),
+	}
+	return c
+}
+
+// augment searches for an augmenting path starting at enabled X vertex x
+// (Kuhn's algorithm). Recursion only passes through already-matched X
+// vertices, which are enabled by construction.
+func (m *Matcher) augment(x int32) bool {
+	m.stamp++
+	return m.try(x)
+}
+
+func (m *Matcher) try(x int32) bool {
+	for _, y := range m.g.adjX[x] {
+		if m.visited[y] == m.stamp {
+			continue
+		}
+		m.visited[y] = m.stamp
+		if m.matchY[y] == -1 || m.try(m.matchY[y]) {
+			m.matchY[y] = x
+			m.matchX[x] = y
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package bipartite
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// WeightedOrder returns Y indices sorted by descending weight (ties by
+// index for determinism). Precompute it once per instance and reuse it
+// across WeightedValue queries.
+func WeightedOrder(wy []float64) []int {
+	order := make([]int, len(wy))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if wy[order[a]] != wy[order[b]] {
+			return wy[order[a]] > wy[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// WeightedValue computes the maximum total Y-weight of a matching that
+// saturates only enabled X vertices (Lemma 2.3.2's F). order must be a
+// descending-weight permutation of Y (see WeightedOrder); wy must be
+// non-negative.
+//
+// Correctness: the family of Y sets saturable within the enabled slots is a
+// transversal matroid, so the descending-weight greedy — try to add each
+// job via an augmenting path, keeping all previously saturated jobs
+// saturated — returns a maximum-weight independent set.
+func WeightedValue(g *Graph, wy []float64, order []int, enabled *bitset.Set) (float64, []int32, []int32) {
+	matchX := make([]int32, g.nx)
+	matchY := make([]int32, g.ny)
+	for i := range matchX {
+		matchX[i] = -1
+	}
+	for i := range matchY {
+		matchY[i] = -1
+	}
+	visited := make([]int32, g.nx)
+	stamp := int32(0)
+
+	var try func(y int32) bool
+	try = func(y int32) bool {
+		for _, x := range g.adjY[y] {
+			if !enabledAll(enabled, int(x)) || visited[x] == stamp {
+				continue
+			}
+			visited[x] = stamp
+			if matchX[x] == -1 || try(matchX[x]) {
+				matchX[x] = y
+				matchY[y] = x
+				return true
+			}
+		}
+		return false
+	}
+
+	total := 0.0
+	for _, y := range order {
+		if wy[y] <= 0 {
+			continue // zero-value jobs never help the objective
+		}
+		stamp++
+		if try(int32(y)) {
+			total += wy[y]
+		}
+	}
+	return total, matchX, matchY
+}
+
+// WeightedGain returns the increase in WeightedValue from enabling extra
+// on top of enabled, recomputing from scratch. base must equal the value
+// for enabled alone.
+func WeightedGain(g *Graph, wy []float64, order []int, enabled *bitset.Set, extra []int, base float64) float64 {
+	union := enabled.Clone()
+	for _, x := range extra {
+		union.Add(x)
+	}
+	v, _, _ := WeightedValue(g, wy, order, union)
+	return v - base
+}

@@ -1,0 +1,293 @@
+// Package bitset provides fixed-universe bitsets.
+//
+// Every oracle in this repository (submodular functions, matchings,
+// matroids) operates over a ground set {0, 1, ..., n-1}; Set is the shared
+// representation of its subsets. The universe size is fixed at creation so
+// that set operations between sets of the same universe are plain word-wise
+// loops with no bounds negotiation.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a subset of the universe {0, ..., n-1}. The zero value is not
+// usable; create sets with New. All binary operations panic if the operands
+// have different universe sizes, since mixing universes is always a bug in
+// this codebase.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set over {0,...,n-1} containing the given elements.
+func FromSlice(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Full returns the set containing the entire universe {0, ..., n-1}.
+func Full(n int) *Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears any bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(s.n%wordBits)) - 1
+	}
+}
+
+// Universe returns the universe size n.
+func (s *Set) Universe() int { return s.n }
+
+// Add inserts element i. It panics if i is outside the universe.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes element i. It panics if i is outside the universe.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether element i is in the set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: element %d outside universe [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites s with the contents of t (same universe required).
+func (s *Set) CopyFrom(t *Set) {
+	s.compat(t)
+	copy(s.words, t.words)
+}
+
+func (s *Set) compat(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// SubtractWith removes every element of t from s.
+func (s *Set) SubtractWith(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Union returns a new set a ∪ b.
+func Union(a, b *Set) *Set {
+	c := a.Clone()
+	c.UnionWith(b)
+	return c
+}
+
+// Intersect returns a new set a ∩ b.
+func Intersect(a, b *Set) *Set {
+	c := a.Clone()
+	c.IntersectWith(b)
+	return c
+}
+
+// Subtract returns a new set a \ b.
+func Subtract(a, b *Set) *Set {
+	c := a.Clone()
+	c.SubtractWith(b)
+	return c
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.compat(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	s.compat(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// UnionCount returns |s ∪ t| without allocating.
+func (s *Set) UnionCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | t.words[i])
+	}
+	return c
+}
+
+// Elements returns the elements of the set in increasing order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// ForEach calls fn on each element in increasing order until fn returns
+// false or the elements are exhausted.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Next returns the smallest element >= i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	want := []int{0, 1, 63, 65, 129}
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after duplicate Add, want 1", s.Count())
+	}
+	s.Remove(7) // removing absent element is a no-op
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after removing absent element, want 1", s.Count())
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		f := Full(n)
+		if f.Count() != n {
+			t.Fatalf("Full(%d).Count = %d", n, f.Count())
+		}
+		// No stray bits beyond the universe: union with empty keeps count.
+		e := New(n)
+		e.UnionWith(f)
+		if e.Count() != n {
+			t.Fatalf("Full(%d) has stray bits", n)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Add")
+		}
+	}()
+	New(5).Add(5)
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on universe mismatch")
+		}
+	}()
+	New(5).UnionWith(New(6))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(100, []int{1, 5, 70, 99})
+	b := FromSlice(100, []int{5, 6, 70})
+	if got := Union(a, b).Elements(); len(got) != 5 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := Intersect(a, b).Elements(); len(got) != 2 || got[0] != 5 || got[1] != 70 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := Subtract(a, b).Elements(); len(got) != 2 || got[0] != 1 || got[1] != 99 {
+		t.Fatalf("Subtract = %v", got)
+	}
+	if a.IntersectionCount(b) != 2 {
+		t.Fatalf("IntersectionCount = %d", a.IntersectionCount(b))
+	}
+	if a.UnionCount(b) != 5 {
+		t.Fatalf("UnionCount = %d", a.UnionCount(b))
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false")
+	}
+	if !Intersect(a, b).SubsetOf(a) || !Intersect(a, b).SubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromSlice(200, []int{3, 64, 130})
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130}, {131, -1}, {-5, 3},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := s.Next(500); got != -1 {
+		t.Errorf("Next beyond universe = %d, want -1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{1, 2}).String(); got != "{1, 2}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// mapSet is the reference implementation for property tests.
+type mapSet map[int]bool
+
+func randomPair(rng *rand.Rand, n int) (*Set, mapSet) {
+	s := New(n)
+	m := mapSet{}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Add(i)
+			m[i] = true
+		}
+	}
+	return s, m
+}
+
+// TestQuickAgainstMapReference drives random op sequences against a
+// map-based reference model.
+func TestQuickAgainstMapReference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		s, m := randomPair(rng, n)
+		for step := 0; step < 100; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				m[i] = true
+			case 1:
+				s.Remove(i)
+				delete(m, i)
+			case 2:
+				if s.Contains(i) != m[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(m) {
+			return false
+		}
+		for _, e := range s.Elements() {
+			if !m[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlgebraLaws verifies De Morgan-ish laws against the reference.
+func TestQuickAlgebraLaws(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a, _ := randomPair(rng, n)
+		b, _ := randomPair(rng, n)
+		u := Union(a, b)
+		i := Intersect(a, b)
+		// |A| + |B| = |A∪B| + |A∩B|
+		if a.Count()+b.Count() != u.Count()+i.Count() {
+			return false
+		}
+		// A\B ∪ A∩B = A
+		if !Union(Subtract(a, b), i).Equal(a) {
+			return false
+		}
+		// Union is commutative; intersect distributes.
+		if !Union(b, a).Equal(u) {
+			return false
+		}
+		if u.IntersectionCount(a) != a.Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(50, []int{1, 2, 3})
+	c := a.Clone()
+	c.Add(10)
+	if a.Contains(10) {
+		t.Fatal("Clone shares storage with original")
+	}
+	a.Clear()
+	if c.Count() != 4 {
+		t.Fatal("Clear of original affected clone")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(50, []int{1, 2, 3})
+	b := New(50)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := Full(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Count()
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	s := Full(4096)
+	t := Full(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.UnionWith(t)
+	}
+}

@@ -1,0 +1,356 @@
+// Package budget implements submodular maximization with budget
+// constraints — the thesis's foundational technique (§2.1, Lemma 2.1.2).
+//
+// Given explicitly listed allowable subsets S₁,…,Sₘ with costs C₁,…,Cₘ, a
+// monotone submodular utility F, and a utility threshold x, Greedy
+// repeatedly picks the subset maximizing
+//
+//	(min(x, F(S ∪ Sᵢ)) − F(S)) / Cᵢ
+//
+// and stops once the utility reaches (1−ε)x. Lemma 2.1.2 proves that if
+// some collection of cost B achieves utility x, the greedy's cost is
+// O(B·log(1/ε)). Set Cover is the special case of singleton subsets and a
+// coverage utility, with ε below 1/(number of elements).
+//
+// LazyGreedy is the classical lazy-evaluation variant: stale marginal
+// ratios are kept in a max-heap and only re-evaluated when popped, which is
+// sound because capped marginals of a monotone submodular function can only
+// shrink as the solution grows. Both variants pick identical subsets (ties
+// broken by index); they differ only in oracle-call counts, which ablation
+// A1 measures.
+package budget
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+// Subset is one allowable subset with its cost (Definition 1).
+type Subset struct {
+	Items *bitset.Set
+	Cost  float64
+	Label string // optional, for diagnostics
+}
+
+// Problem is an instance of submodular maximization with budget
+// constraints: reach utility Threshold over F using the allowable Subsets.
+type Problem struct {
+	F         submodular.Function
+	Subsets   []Subset
+	Threshold float64
+}
+
+// Options tune the greedy.
+type Options struct {
+	// Eps is the bicriteria slack ε: stop at utility (1−ε)·Threshold.
+	// Must be in (0, 1].
+	Eps float64
+	// Parallel evaluates candidate subsets concurrently in plain Greedy.
+	Parallel bool
+}
+
+// Step records one greedy pick, forming the trace used by the phase
+// accounting of Lemma 2.1.2's proof.
+type Step struct {
+	Subset  int     // index into Problem.Subsets
+	Gain    float64 // capped utility gain of this pick
+	Ratio   float64 // Gain / Cost at pick time
+	Cost    float64 // cumulative cost after this pick
+	Utility float64 // capped utility after this pick
+}
+
+// Result is the output of a greedy run.
+type Result struct {
+	Chosen  []int // picked subset indices, in pick order
+	Union   *bitset.Set
+	Utility float64 // F of the union (uncapped)
+	Cost    float64
+	Evals   int64 // oracle calls consumed
+	Trace   []Step
+}
+
+// Phases buckets the trace into the proof's phases: phase i covers picks
+// made while utility < (1−1/2^i)·x. It returns the cost spent per phase.
+func (r *Result) Phases(threshold float64) []float64 {
+	var phases []float64
+	phase := 1
+	bound := func(i int) float64 { return (1 - 1/math.Pow(2, float64(i))) * threshold }
+	spent := 0.0
+	prevCost := 0.0
+	for _, st := range r.Trace {
+		for st.Utility >= bound(phase) && phase < 64 {
+			phases = append(phases, spent)
+			spent = 0
+			phase++
+		}
+		spent += st.Cost - prevCost
+		prevCost = st.Cost
+	}
+	phases = append(phases, spent)
+	return phases
+}
+
+// ErrInfeasible is returned when no remaining subset improves utility but
+// the target has not been reached; the instance cannot achieve the
+// threshold with the given subsets.
+var ErrInfeasible = errors.New("budget: threshold unreachable with given subsets")
+
+const tol = 1e-12
+
+// Greedy runs the algorithm of Lemma 2.1.2. On success the result has
+// capped utility at least (1−ε)·Threshold.
+func Greedy(p Problem, opts Options) (*Result, error) {
+	if err := validate(p, opts); err != nil {
+		return nil, err
+	}
+	f := submodular.NewCounting(p.F)
+	x := p.Threshold
+	target := (1 - opts.Eps) * x
+
+	cur := bitset.New(p.F.Universe())
+	curU := math.Min(x, f.Eval(cur))
+	res := &Result{Union: cur}
+	picked := make([]bool, len(p.Subsets))
+
+	workers := 1
+	if opts.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	for curU < target-tol {
+		best, bestGain, bestRatio := -1, 0.0, math.Inf(-1)
+		consider := func(i int) (float64, float64, bool) {
+			v := math.Min(x, evalUnion(f, cur, p.Subsets[i].Items))
+			gain := v - curU
+			if gain <= tol {
+				return 0, 0, false
+			}
+			ratio := math.Inf(1)
+			if p.Subsets[i].Cost > tol {
+				ratio = gain / p.Subsets[i].Cost
+			}
+			return gain, ratio, true
+		}
+		if workers == 1 {
+			for i := range p.Subsets {
+				if picked[i] {
+					continue
+				}
+				gain, ratio, ok := consider(i)
+				if ok && ratio > bestRatio {
+					best, bestGain, bestRatio = i, gain, ratio
+				}
+			}
+		} else {
+			best, bestGain, bestRatio = parallelBest(p, f, cur, curU, x, picked, workers)
+		}
+		if best == -1 {
+			res.Utility = f.Eval(cur)
+			res.Evals = f.Calls()
+			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
+		}
+		picked[best] = true
+		cur.UnionWith(p.Subsets[best].Items)
+		curU += bestGain
+		res.Chosen = append(res.Chosen, best)
+		res.Cost += p.Subsets[best].Cost
+		res.Trace = append(res.Trace, Step{
+			Subset: best, Gain: bestGain, Ratio: bestRatio, Cost: res.Cost, Utility: curU,
+		})
+	}
+	res.Utility = f.Eval(cur)
+	res.Evals = f.Calls()
+	return res, nil
+}
+
+// parallelBest scans candidates across workers; ties resolve to the lowest
+// index so that parallel and serial runs pick identical subsets.
+func parallelBest(p Problem, f submodular.Function, cur *bitset.Set, curU, x float64, picked []bool, workers int) (int, float64, float64) {
+	type cand struct {
+		idx   int
+		gain  float64
+		ratio float64
+	}
+	results := make([]cand, workers)
+	var wg sync.WaitGroup
+	chunk := (len(p.Subsets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(p.Subsets) {
+			hi = len(p.Subsets)
+		}
+		if lo >= hi {
+			results[w] = cand{idx: -1, ratio: math.Inf(-1)}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := cand{idx: -1, ratio: math.Inf(-1)}
+			scratch := cur.Clone()
+			for i := lo; i < hi; i++ {
+				if picked[i] {
+					continue
+				}
+				scratch.CopyFrom(cur)
+				scratch.UnionWith(p.Subsets[i].Items)
+				v := math.Min(x, f.Eval(scratch))
+				gain := v - curU
+				if gain <= tol {
+					continue
+				}
+				ratio := math.Inf(1)
+				if p.Subsets[i].Cost > tol {
+					ratio = gain / p.Subsets[i].Cost
+				}
+				if ratio > local.ratio {
+					local = cand{idx: i, gain: gain, ratio: ratio}
+				}
+			}
+			results[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := cand{idx: -1, ratio: math.Inf(-1)}
+	for _, c := range results {
+		if c.idx == -1 {
+			continue
+		}
+		if c.ratio > best.ratio || (c.ratio == best.ratio && best.idx != -1 && c.idx < best.idx) {
+			best = c
+		}
+	}
+	return best.idx, best.gain, best.ratio
+}
+
+func evalUnion(f submodular.Function, cur *bitset.Set, items *bitset.Set) float64 {
+	u := cur.Clone()
+	u.UnionWith(items)
+	return f.Eval(u)
+}
+
+func validate(p Problem, opts Options) error {
+	if opts.Eps <= 0 || opts.Eps > 1 {
+		return fmt.Errorf("budget: Eps must be in (0,1], got %g", opts.Eps)
+	}
+	if p.Threshold < 0 {
+		return fmt.Errorf("budget: negative threshold %g", p.Threshold)
+	}
+	n := p.F.Universe()
+	for i, s := range p.Subsets {
+		if s.Items.Universe() != n {
+			return fmt.Errorf("budget: subset %d universe %d, want %d", i, s.Items.Universe(), n)
+		}
+		if s.Cost < 0 {
+			return fmt.Errorf("budget: subset %d has negative cost %g", i, s.Cost)
+		}
+	}
+	return nil
+}
+
+// lazyEntry is a heap entry holding a stale ratio upper bound.
+type lazyEntry struct {
+	idx   int
+	ratio float64
+	gain  float64
+	round int // greedy round when the ratio was computed
+}
+
+type lazyHeap []lazyEntry
+
+func (h lazyHeap) Len() int { return len(h) }
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].ratio != h[j].ratio {
+		return h[i].ratio > h[j].ratio
+	}
+	return h[i].idx < h[j].idx
+}
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// LazyGreedy computes the same solution as Greedy with (typically far)
+// fewer oracle calls, using stale-ratio lazy evaluation.
+func LazyGreedy(p Problem, opts Options) (*Result, error) {
+	if err := validate(p, opts); err != nil {
+		return nil, err
+	}
+	f := submodular.NewCounting(p.F)
+	x := p.Threshold
+	target := (1 - opts.Eps) * x
+
+	cur := bitset.New(p.F.Universe())
+	curU := math.Min(x, f.Eval(cur))
+	res := &Result{Union: cur}
+
+	h := make(lazyHeap, 0, len(p.Subsets))
+	round := 0
+	for i := range p.Subsets {
+		v := math.Min(x, evalUnion(f, cur, p.Subsets[i].Items))
+		gain := v - curU
+		if gain <= tol {
+			continue
+		}
+		ratio := math.Inf(1)
+		if p.Subsets[i].Cost > tol {
+			ratio = gain / p.Subsets[i].Cost
+		}
+		h = append(h, lazyEntry{idx: i, ratio: ratio, gain: gain, round: round})
+	}
+	heap.Init(&h)
+
+	for curU < target-tol {
+		var pick lazyEntry
+		found := false
+		for h.Len() > 0 {
+			top := h[0]
+			if top.round == round {
+				pick = top
+				heap.Pop(&h)
+				found = true
+				break
+			}
+			// Stale: re-evaluate against the current solution.
+			heap.Pop(&h)
+			v := math.Min(x, evalUnion(f, cur, p.Subsets[top.idx].Items))
+			gain := v - curU
+			if gain <= tol {
+				continue // never useful again: capped marginals only shrink
+			}
+			ratio := math.Inf(1)
+			if p.Subsets[top.idx].Cost > tol {
+				ratio = gain / p.Subsets[top.idx].Cost
+			}
+			heap.Push(&h, lazyEntry{idx: top.idx, ratio: ratio, gain: gain, round: round})
+		}
+		if !found {
+			res.Utility = f.Eval(cur)
+			res.Evals = f.Calls()
+			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
+		}
+		cur.UnionWith(p.Subsets[pick.idx].Items)
+		curU += pick.gain
+		round++
+		res.Chosen = append(res.Chosen, pick.idx)
+		res.Cost += p.Subsets[pick.idx].Cost
+		res.Trace = append(res.Trace, Step{
+			Subset: pick.idx, Gain: pick.gain, Ratio: pick.ratio, Cost: res.Cost, Utility: curU,
+		})
+	}
+	res.Utility = f.Eval(cur)
+	res.Evals = f.Calls()
+	return res, nil
+}

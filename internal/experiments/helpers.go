@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/setcover"
+	"repro/internal/submodular"
+)
+
+// toCoverage views a set-cover instance as the coverage utility whose
+// universe is the set indices.
+func toCoverage(ins *setcover.Instance) *submodular.Coverage {
+	return submodular.NewCoverage(ins.N, ins.Sets, nil)
+}
+
+// singleton returns the one-element subset {i} over a universe of n items.
+func singleton(n, i int) *bitset.Set {
+	return bitset.FromSlice(n, []int{i})
+}

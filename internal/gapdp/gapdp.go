@@ -1,0 +1,226 @@
+// Package gapdp solves prize-collecting gap scheduling exactly on one
+// processor (thesis Appendix .2, Theorem .2.1).
+//
+// Jobs are unit length with release/deadline windows. A schedule occupies
+// one slot per scheduled job; its busy slots split into maximal contiguous
+// blocks, and the gaps between consecutive blocks are the "restarts" of the
+// simple cost model of [9,13]. The prize-collecting question: what is the
+// maximum total value schedulable with at most g gaps?
+//
+// The thesis adapts the Baptiste-style dynamic program of [13], whose
+// polynomial degree (~n⁷p⁵·g) is impractical; per DESIGN.md substitution 3
+// we implement an exact DP over (slot, job-subset, blocks, busy-bit) states
+// that is practical for n ≤ ~16 and serves as the optimal comparator in
+// experiment E13. Cross-validated against brute force in tests.
+package gapdp
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Job is a unit job with window [Release, Deadline) and a value.
+type Job struct {
+	Release  int
+	Deadline int
+	Value    float64
+}
+
+// Instance is a one-processor prize-collecting gap instance.
+type Instance struct {
+	Horizon int
+	Jobs    []Job
+}
+
+// Validate checks windows.
+func (ins *Instance) Validate() error {
+	if ins.Horizon <= 0 {
+		return fmt.Errorf("gapdp: horizon %d", ins.Horizon)
+	}
+	if len(ins.Jobs) > 20 {
+		return fmt.Errorf("gapdp: %d jobs exceeds exact DP range (20)", len(ins.Jobs))
+	}
+	for i, j := range ins.Jobs {
+		if j.Release < 0 || j.Deadline > ins.Horizon || j.Release >= j.Deadline {
+			return fmt.Errorf("gapdp: job %d window [%d,%d) invalid", i, j.Release, j.Deadline)
+		}
+		if j.Value < 0 {
+			return fmt.Errorf("gapdp: job %d negative value", i)
+		}
+	}
+	return nil
+}
+
+// Result reports the DP outcome.
+type Result struct {
+	Value float64 // best achievable total value
+	Gaps  int     // gaps used by the best schedule
+	Mask  uint32  // scheduled job set
+	Slots []int   // per job, assigned slot or -1
+}
+
+// MaxValue returns the maximum total value schedulable with at most g
+// gaps (i.e., at most g+1 busy blocks).
+//
+// DP over time slots: state = (set of scheduled jobs, blocks opened so
+// far, whether the previous slot is busy). At each slot the machine either
+// idles or runs one available unscheduled job, opening a new block if the
+// previous slot was idle.
+func MaxValue(ins *Instance, g int) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if g < 0 {
+		return nil, fmt.Errorf("gapdp: negative gap budget %d", g)
+	}
+	n := len(ins.Jobs)
+	maxBlocks := g + 1
+	// Cap blocks at n: more blocks than jobs is useless.
+	if maxBlocks > n {
+		maxBlocks = n
+	}
+	if n == 0 {
+		return &Result{Slots: []int{}}, nil
+	}
+	type state struct {
+		mask   uint32
+		blocks uint8
+		busy   uint8
+	}
+	// parent reconstruction: from[state at t+1] = (prev state, job or -1).
+	type edge struct {
+		prev state
+		job  int8
+	}
+	reach := map[state]edge{{0, 0, 0}: {state{0, 0, 0}, -2}}
+	frontier := []state{{0, 0, 0}}
+	// trace[t] snapshots reachability at each time for reconstruction.
+	traces := make([]map[state]edge, ins.Horizon+1)
+	traces[0] = reach
+
+	for t := 0; t < ins.Horizon; t++ {
+		next := map[state]edge{}
+		for _, st := range frontier {
+			// Idle.
+			ns := state{st.mask, st.blocks, 0}
+			if _, ok := next[ns]; !ok {
+				next[ns] = edge{st, -1}
+			}
+			// Run an available unscheduled job.
+			for j := 0; j < n; j++ {
+				if st.mask&(1<<uint(j)) != 0 {
+					continue
+				}
+				if ins.Jobs[j].Release > t || ins.Jobs[j].Deadline <= t {
+					continue
+				}
+				blocks := st.blocks
+				if st.busy == 0 {
+					blocks++
+				}
+				if int(blocks) > maxBlocks {
+					continue
+				}
+				ns := state{st.mask | 1<<uint(j), blocks, 1}
+				if _, ok := next[ns]; !ok {
+					next[ns] = edge{st, int8(j)}
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for st := range next {
+			frontier = append(frontier, st)
+		}
+		traces[t+1] = next
+	}
+
+	// Best final state by value.
+	best := &Result{Value: -1}
+	var bestState state
+	for st := range traces[ins.Horizon] {
+		v := 0.0
+		for j := 0; j < n; j++ {
+			if st.mask&(1<<uint(j)) != 0 {
+				v += ins.Jobs[j].Value
+			}
+		}
+		better := v > best.Value ||
+			(v == best.Value && int(st.blocks) < best.Gaps+1)
+		if better {
+			gaps := int(st.blocks) - 1
+			if gaps < 0 {
+				gaps = 0
+			}
+			best = &Result{Value: v, Gaps: gaps, Mask: st.mask}
+			bestState = st
+		}
+	}
+	// Reconstruct assignment.
+	best.Slots = make([]int, n)
+	for j := range best.Slots {
+		best.Slots[j] = -1
+	}
+	cur := bestState
+	for t := ins.Horizon; t > 0; t-- {
+		e := traces[t][cur]
+		if e.job >= 0 {
+			best.Slots[e.job] = t - 1
+		}
+		cur = e.prev
+	}
+	return best, nil
+}
+
+// MinGaps returns the minimum number of gaps needed to schedule all jobs,
+// or -1 if not all jobs can be scheduled regardless of gaps.
+func MinGaps(ins *Instance) (int, error) {
+	if err := ins.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(ins.Jobs)
+	if n == 0 {
+		return 0, nil
+	}
+	full := uint32(1<<uint(n)) - 1
+	for g := 0; g < n; g++ {
+		res, err := MaxValue(withUnitValues(ins), g)
+		if err != nil {
+			return 0, err
+		}
+		if res.Mask == full {
+			return g, nil
+		}
+	}
+	return -1, nil
+}
+
+func withUnitValues(ins *Instance) *Instance {
+	jobs := make([]Job, len(ins.Jobs))
+	for i, j := range ins.Jobs {
+		jobs[i] = Job{Release: j.Release, Deadline: j.Deadline, Value: 1}
+	}
+	return &Instance{Horizon: ins.Horizon, Jobs: jobs}
+}
+
+// CountBlocks returns the number of busy blocks in a slot assignment
+// (ignoring -1 entries).
+func CountBlocks(horizon int, slots []int) int {
+	busy := make([]bool, horizon)
+	for _, t := range slots {
+		if t >= 0 {
+			busy[t] = true
+		}
+	}
+	blocks := 0
+	prev := false
+	for _, b := range busy {
+		if b && !prev {
+			blocks++
+		}
+		prev = b
+	}
+	return blocks
+}
+
+// Popcount32 is a small helper exported for tests.
+func Popcount32(m uint32) int { return bits.OnesCount32(m) }

@@ -1,0 +1,268 @@
+package gapdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxValue enumerates every job subset and every assignment to check
+// the DP on tiny instances.
+func bruteMaxValue(ins *Instance, g int) float64 {
+	n := len(ins.Jobs)
+	best := 0.0
+	var rec func(j int, slots []int)
+	rec = func(j int, slots []int) {
+		if j == n {
+			v := 0.0
+			for i, t := range slots {
+				if t >= 0 {
+					v += ins.Jobs[i].Value
+				}
+			}
+			if v <= best {
+				return
+			}
+			if CountBlocks(ins.Horizon, slots) <= g+1 {
+				best = v
+			}
+			return
+		}
+		slots[j] = -1
+		rec(j+1, slots)
+		for t := ins.Jobs[j].Release; t < ins.Jobs[j].Deadline; t++ {
+			free := true
+			for i := 0; i < j; i++ {
+				if slots[i] == t {
+					free = false
+					break
+				}
+			}
+			if free {
+				slots[j] = t
+				rec(j+1, slots)
+			}
+		}
+		slots[j] = -1
+	}
+	rec(0, make([]int, n))
+	return best
+}
+
+func TestMaxValueKnown(t *testing.T) {
+	// Three jobs, two far apart; with 0 gaps only a contiguous block fits.
+	ins := &Instance{
+		Horizon: 10,
+		Jobs: []Job{
+			{Release: 0, Deadline: 2, Value: 5},
+			{Release: 1, Deadline: 3, Value: 4},
+			{Release: 8, Deadline: 10, Value: 3},
+		},
+	}
+	r0, err := MaxValue(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Value != 9 {
+		t.Fatalf("g=0 value = %v, want 9 (jobs 0+1 contiguous)", r0.Value)
+	}
+	r1, err := MaxValue(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != 12 {
+		t.Fatalf("g=1 value = %v, want 12 (all jobs)", r1.Value)
+	}
+	if r1.Gaps != 1 {
+		t.Fatalf("g=1 gaps = %d, want 1", r1.Gaps)
+	}
+}
+
+func TestMaxValueAssignmentConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		ins := randomInstance(rng, 8, 6)
+		g := rng.Intn(3)
+		res, err := MaxValue(ins, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Assignment matches mask, respects windows, no collisions.
+		used := map[int]bool{}
+		v := 0.0
+		for j, slot := range res.Slots {
+			scheduled := res.Mask&(1<<uint(j)) != 0
+			if scheduled != (slot >= 0) {
+				t.Fatalf("mask/slots disagree for job %d", j)
+			}
+			if slot < 0 {
+				continue
+			}
+			if slot < ins.Jobs[j].Release || slot >= ins.Jobs[j].Deadline {
+				t.Fatalf("job %d at %d outside window", j, slot)
+			}
+			if used[slot] {
+				t.Fatalf("slot %d reused", slot)
+			}
+			used[slot] = true
+			v += ins.Jobs[j].Value
+		}
+		if math.Abs(v-res.Value) > 1e-9 {
+			t.Fatalf("value %v != assignment value %v", res.Value, v)
+		}
+		if blocks := CountBlocks(ins.Horizon, res.Slots); blocks > g+1 {
+			t.Fatalf("%d blocks exceeds budget %d", blocks, g+1)
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand, horizon, jobs int) *Instance {
+	ins := &Instance{Horizon: horizon}
+	for j := 0; j < jobs; j++ {
+		r := rng.Intn(horizon - 1)
+		d := r + 1 + rng.Intn(horizon-r-1)
+		if d > horizon {
+			d = horizon
+		}
+		ins.Jobs = append(ins.Jobs, Job{Release: r, Deadline: d, Value: float64(1 + rng.Intn(5))})
+	}
+	return ins
+}
+
+func TestMaxValueVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		ins := randomInstance(rng, 7, 5)
+		for g := 0; g <= 2; g++ {
+			dp, err := MaxValue(ins, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute := bruteMaxValue(ins, g)
+			if math.Abs(dp.Value-brute) > 1e-9 {
+				t.Fatalf("trial %d g=%d: DP %v != brute %v (%+v)", trial, g, dp.Value, brute, ins)
+			}
+		}
+	}
+}
+
+func TestMaxValueMonotoneInG(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		ins := randomInstance(rng, 9, 7)
+		prev := -1.0
+		for g := 0; g <= 4; g++ {
+			res, err := MaxValue(ins, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Value < prev-1e-9 {
+				t.Fatalf("value decreased with larger gap budget: %v -> %v", prev, res.Value)
+			}
+			prev = res.Value
+		}
+	}
+}
+
+func TestMinGaps(t *testing.T) {
+	ins := &Instance{
+		Horizon: 10,
+		Jobs: []Job{
+			{Release: 0, Deadline: 1, Value: 1},
+			{Release: 9, Deadline: 10, Value: 1},
+		},
+	}
+	g, err := MinGaps(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 1 {
+		t.Fatalf("MinGaps = %d, want 1", g)
+	}
+	// Contiguous jobs need no gap.
+	ins2 := &Instance{
+		Horizon: 5,
+		Jobs: []Job{
+			{Release: 0, Deadline: 5, Value: 1},
+			{Release: 0, Deadline: 5, Value: 1},
+		},
+	}
+	g2, err := MinGaps(ins2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != 0 {
+		t.Fatalf("MinGaps = %d, want 0", g2)
+	}
+}
+
+func TestMinGapsInfeasible(t *testing.T) {
+	// Two jobs, one slot: never all schedulable.
+	ins := &Instance{
+		Horizon: 3,
+		Jobs: []Job{
+			{Release: 0, Deadline: 1, Value: 1},
+			{Release: 0, Deadline: 1, Value: 1},
+		},
+	}
+	g, err := MinGaps(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != -1 {
+		t.Fatalf("MinGaps = %d, want -1", g)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Instance{
+		{Horizon: 0},
+		{Horizon: 5, Jobs: []Job{{Release: -1, Deadline: 2}}},
+		{Horizon: 5, Jobs: []Job{{Release: 3, Deadline: 2}}},
+		{Horizon: 5, Jobs: []Job{{Release: 0, Deadline: 9}}},
+		{Horizon: 5, Jobs: []Job{{Release: 0, Deadline: 2, Value: -1}}},
+	}
+	for i, ins := range bad {
+		if _, err := MaxValue(ins, 1); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := MaxValue(&Instance{Horizon: 3, Jobs: []Job{{Release: 0, Deadline: 1}}}, -1); err == nil {
+		t.Error("negative gap budget accepted")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	res, err := MaxValue(&Instance{Horizon: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 || res.Gaps != 0 {
+		t.Fatalf("empty = %+v", res)
+	}
+	g, err := MinGaps(&Instance{Horizon: 3})
+	if err != nil || g != 0 {
+		t.Fatalf("MinGaps empty = %d, %v", g, err)
+	}
+}
+
+func TestCountBlocks(t *testing.T) {
+	if got := CountBlocks(6, []int{0, 1, 3, -1}); got != 2 {
+		t.Fatalf("CountBlocks = %d, want 2", got)
+	}
+	if got := CountBlocks(6, []int{-1, -1}); got != 0 {
+		t.Fatalf("CountBlocks = %d, want 0", got)
+	}
+}
+
+func BenchmarkMaxValue(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ins := randomInstance(rng, 14, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxValue(ins, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package matroid implements the matroid independence oracles used by the
+// submodular matroid secretary problem (thesis §3.3).
+//
+// A matroid is given by a ground set and an independence oracle, exactly as
+// in the thesis's problem statement ("assume we have an oracle to answer
+// whether a subset of U belongs to I or not"). The package provides the
+// matroid classes named by the secretary literature the thesis builds on —
+// uniform, partition, graphic, transversal, laminar — plus intersections of
+// l matroids and the (submodular) rank function adapter.
+package matroid
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/bitset"
+)
+
+// Matroid is an independence oracle over the universe {0,...,n-1}.
+type Matroid interface {
+	// Universe returns the ground-set size.
+	Universe() int
+	// Independent reports whether s is an independent set. Implementations
+	// must not retain or modify s.
+	Independent(s *bitset.Set) bool
+}
+
+// Rank returns the rank of s: the size of a maximum independent subset.
+// For a matroid, greedy insertion is exact because all maximal independent
+// subsets of s share the same cardinality.
+func Rank(m Matroid, s *bitset.Set) int {
+	cur := bitset.New(m.Universe())
+	r := 0
+	s.ForEach(func(e int) bool {
+		cur.Add(e)
+		if m.Independent(cur) {
+			r++
+		} else {
+			cur.Remove(e)
+		}
+		return true
+	})
+	return r
+}
+
+// FullRank returns the rank of the whole ground set.
+func FullRank(m Matroid) int { return Rank(m, bitset.Full(m.Universe())) }
+
+// CanAdd reports whether s ∪ {e} is independent, assuming s already is.
+func CanAdd(m Matroid, s *bitset.Set, e int) bool {
+	if s.Contains(e) {
+		return false
+	}
+	s.Add(e)
+	ok := m.Independent(s)
+	s.Remove(e)
+	return ok
+}
+
+// Uniform is the uniform matroid U(n,k): sets of size at most k.
+type Uniform struct {
+	N, K int
+}
+
+// Universe implements Matroid.
+func (u Uniform) Universe() int { return u.N }
+
+// Independent implements Matroid.
+func (u Uniform) Independent(s *bitset.Set) bool { return s.Count() <= u.K }
+
+// Partition is a partition matroid: element e belongs to Class[e], and an
+// independent set holds at most Cap[c] elements of class c.
+type Partition struct {
+	Class []int // Class[e] in [0, len(Cap))
+	Cap   []int
+}
+
+// NewPartition validates and returns a partition matroid.
+func NewPartition(class []int, cap []int) Partition {
+	for e, c := range class {
+		if c < 0 || c >= len(cap) {
+			panic(fmt.Sprintf("matroid: element %d in unknown class %d", e, c))
+		}
+	}
+	return Partition{Class: class, Cap: cap}
+}
+
+// Universe implements Matroid.
+func (p Partition) Universe() int { return len(p.Class) }
+
+// Independent implements Matroid.
+func (p Partition) Independent(s *bitset.Set) bool {
+	counts := make([]int, len(p.Cap))
+	ok := true
+	s.ForEach(func(e int) bool {
+		c := p.Class[e]
+		counts[c]++
+		if counts[c] > p.Cap[c] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Graphic is the graphic matroid of a graph: ground-set elements are edges,
+// and a set is independent iff it is a forest. The thesis cites graphic
+// matroids among the constant-competitive special cases of Babaioff et al.
+type Graphic struct {
+	Vertices int
+	Ends     [][2]int // Ends[e] = {u, v}
+}
+
+// NewGraphic validates endpoints and returns a graphic matroid.
+func NewGraphic(vertices int, ends [][2]int) Graphic {
+	for e, uv := range ends {
+		if uv[0] < 0 || uv[0] >= vertices || uv[1] < 0 || uv[1] >= vertices {
+			panic(fmt.Sprintf("matroid: edge %d endpoints %v outside [0,%d)", e, uv, vertices))
+		}
+	}
+	return Graphic{Vertices: vertices, Ends: ends}
+}
+
+// Universe implements Matroid.
+func (g Graphic) Universe() int { return len(g.Ends) }
+
+// Independent implements Matroid: union-find cycle detection.
+func (g Graphic) Independent(s *bitset.Set) bool {
+	parent := make([]int, g.Vertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	acyclic := true
+	s.ForEach(func(e int) bool {
+		ru, rv := find(g.Ends[e][0]), find(g.Ends[e][1])
+		if ru == rv {
+			acyclic = false
+			return false
+		}
+		parent[ru] = rv
+		return true
+	})
+	return acyclic
+}
+
+// Transversal is the transversal matroid of a bipartite graph: ground-set
+// elements are the X vertices, and a set is independent iff it can be
+// perfectly matched into Y.
+type Transversal struct {
+	G *bipartite.Graph
+}
+
+// Universe implements Matroid.
+func (t Transversal) Universe() int { return t.G.NX() }
+
+// Independent implements Matroid.
+func (t Transversal) Independent(s *bitset.Set) bool {
+	size, _, _ := bipartite.MaxMatching(t.G, s)
+	return size == s.Count()
+}
+
+// LaminarFamily is one capacity constraint of a laminar matroid.
+type LaminarFamily struct {
+	Members *bitset.Set
+	Cap     int
+}
+
+// Laminar is a laminar matroid: a family of nested-or-disjoint sets with
+// capacities; S is independent iff |S ∩ F| <= cap(F) for every family F.
+type Laminar struct {
+	N        int
+	Families []LaminarFamily
+}
+
+// NewLaminar validates laminarity (every pair of families is nested or
+// disjoint) and returns the matroid.
+func NewLaminar(n int, families []LaminarFamily) Laminar {
+	for i := range families {
+		if families[i].Members.Universe() != n {
+			panic("matroid: laminar family universe mismatch")
+		}
+		for j := i + 1; j < len(families); j++ {
+			a, b := families[i].Members, families[j].Members
+			if a.Intersects(b) && !a.SubsetOf(b) && !b.SubsetOf(a) {
+				panic(fmt.Sprintf("matroid: families %d and %d are neither nested nor disjoint", i, j))
+			}
+		}
+	}
+	return Laminar{N: n, Families: families}
+}
+
+// Universe implements Matroid.
+func (l Laminar) Universe() int { return l.N }
+
+// Independent implements Matroid.
+func (l Laminar) Independent(s *bitset.Set) bool {
+	for _, f := range l.Families {
+		if s.IntersectionCount(f.Members) > f.Cap {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection is the common independent sets of several matroids over the
+// same universe (not itself a matroid for l >= 2, but exactly the
+// feasibility structure of §3.3's l-matroid secretary problem).
+type Intersection []Matroid
+
+// NewIntersection validates universes and returns the intersection oracle.
+func NewIntersection(ms ...Matroid) Intersection {
+	if len(ms) == 0 {
+		panic("matroid: empty intersection")
+	}
+	for _, m := range ms[1:] {
+		if m.Universe() != ms[0].Universe() {
+			panic("matroid: intersection universe mismatch")
+		}
+	}
+	return Intersection(ms)
+}
+
+// Universe implements Matroid.
+func (in Intersection) Universe() int { return in[0].Universe() }
+
+// Independent implements Matroid: independent in every constituent.
+func (in Intersection) Independent(s *bitset.Set) bool {
+	for _, m := range in {
+		if !m.Independent(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRank returns the maximum FullRank over the constituent matroids —
+// the r in the thesis's O(l log² r) bound.
+func (in Intersection) MaxRank() int {
+	r := 0
+	for _, m := range in {
+		if fr := FullRank(m); fr > r {
+			r = fr
+		}
+	}
+	return r
+}
+
+// RankFunction adapts a matroid's rank to the submodular.Function
+// interface (matroid rank functions are the canonical monotone submodular
+// functions, cf. [15] in the thesis bibliography).
+type RankFunction struct {
+	M Matroid
+}
+
+// Universe implements submodular.Function.
+func (r RankFunction) Universe() int { return r.M.Universe() }
+
+// Eval implements submodular.Function.
+func (r RankFunction) Eval(s *bitset.Set) float64 { return float64(Rank(r.M, s)) }

@@ -1,0 +1,256 @@
+package matroid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bipartite"
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+func randomSet(rng *rand.Rand, n int, p float64) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// checkAxioms verifies the three matroid axioms on random samples:
+// (1) empty independent, (2) heredity, (3) exchange.
+func checkAxioms(t *testing.T, m Matroid, seed int64, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := m.Universe()
+	if !m.Independent(bitset.New(n)) {
+		t.Fatal("empty set not independent")
+	}
+	// Sample independent sets by greedy random insertion.
+	sample := func() *bitset.Set {
+		s := bitset.New(n)
+		for _, e := range rng.Perm(n) {
+			if rng.Intn(2) == 0 && CanAdd(m, s, e) {
+				s.Add(e)
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < trials; trial++ {
+		a, b := sample(), sample()
+		// Heredity: random subset of an independent set is independent.
+		sub := a.Clone()
+		for _, e := range a.Elements() {
+			if rng.Intn(2) == 0 {
+				sub.Remove(e)
+			}
+		}
+		if !m.Independent(sub) {
+			t.Fatalf("heredity violated: %v ⊆ %v", sub, a)
+		}
+		// Exchange: if |a| > |b|, some element of a\b extends b.
+		big, small := a, b
+		if big.Count() < small.Count() {
+			big, small = small, big
+		}
+		if big.Count() > small.Count() {
+			found := false
+			for _, e := range bitset.Subtract(big, small).Elements() {
+				if CanAdd(m, small, e) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("exchange violated: big=%v small=%v", big, small)
+			}
+		}
+	}
+}
+
+func TestUniformAxioms(t *testing.T) { checkAxioms(t, Uniform{N: 10, K: 4}, 1, 60) }
+func TestUniformEdgeCases(t *testing.T) {
+	u := Uniform{N: 5, K: 0}
+	if u.Independent(bitset.FromSlice(5, []int{0})) {
+		t.Fatal("k=0 matroid accepted a singleton")
+	}
+	if FullRank(u) != 0 {
+		t.Fatal("k=0 rank nonzero")
+	}
+	if FullRank(Uniform{N: 3, K: 7}) != 3 {
+		t.Fatal("rank should cap at n")
+	}
+}
+
+func TestPartitionAxioms(t *testing.T) {
+	class := []int{0, 0, 0, 1, 1, 2, 2, 2, 2}
+	checkAxioms(t, NewPartition(class, []int{2, 1, 3}), 2, 60)
+}
+
+func TestPartitionCounts(t *testing.T) {
+	p := NewPartition([]int{0, 0, 1}, []int{1, 1})
+	if !p.Independent(bitset.FromSlice(3, []int{0, 2})) {
+		t.Fatal("{0,2} should be independent")
+	}
+	if p.Independent(bitset.FromSlice(3, []int{0, 1})) {
+		t.Fatal("{0,1} exceeds class cap")
+	}
+	if FullRank(p) != 2 {
+		t.Fatalf("rank = %d, want 2", FullRank(p))
+	}
+}
+
+func TestGraphicAxioms(t *testing.T) {
+	// K4: 6 edges, rank 3.
+	ends := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	g := NewGraphic(4, ends)
+	checkAxioms(t, g, 3, 60)
+	if FullRank(g) != 3 {
+		t.Fatalf("K4 graphic rank = %d, want 3", FullRank(g))
+	}
+	// A triangle is dependent.
+	if g.Independent(bitset.FromSlice(6, []int{0, 1, 3})) {
+		t.Fatal("triangle 0-1, 0-2, 1-2 accepted as independent")
+	}
+	// Any spanning tree is independent.
+	if !g.Independent(bitset.FromSlice(6, []int{0, 1, 2})) {
+		t.Fatal("star at vertex 0 rejected")
+	}
+}
+
+func TestTransversalAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := bipartite.NewGraph(8, 5)
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 5; y++ {
+			if rng.Intn(3) == 0 {
+				g.AddEdge(x, y)
+			}
+		}
+	}
+	checkAxioms(t, Transversal{G: g}, 5, 40)
+}
+
+func TestTransversalKnown(t *testing.T) {
+	// Two X vertices share a single Y: rank 1.
+	g := bipartite.NewGraph(2, 1)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	tr := Transversal{G: g}
+	if !tr.Independent(bitset.FromSlice(2, []int{0})) {
+		t.Fatal("singleton rejected")
+	}
+	if tr.Independent(bitset.Full(2)) {
+		t.Fatal("both accepted but only one can match")
+	}
+}
+
+func TestLaminarAxioms(t *testing.T) {
+	n := 8
+	fams := []LaminarFamily{
+		{Members: bitset.FromSlice(n, []int{0, 1, 2, 3}), Cap: 2},
+		{Members: bitset.FromSlice(n, []int{0, 1}), Cap: 1},
+		{Members: bitset.FromSlice(n, []int{4, 5, 6}), Cap: 2},
+	}
+	checkAxioms(t, NewLaminar(n, fams), 6, 60)
+}
+
+func TestLaminarValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on crossing families")
+		}
+	}()
+	NewLaminar(4, []LaminarFamily{
+		{Members: bitset.FromSlice(4, []int{0, 1}), Cap: 1},
+		{Members: bitset.FromSlice(4, []int{1, 2}), Cap: 1},
+	})
+}
+
+func TestIntersection(t *testing.T) {
+	u := Uniform{N: 6, K: 3}
+	p := NewPartition([]int{0, 0, 0, 1, 1, 1}, []int{1, 2})
+	in := NewIntersection(u, p)
+	if !in.Independent(bitset.FromSlice(6, []int{0, 3, 4})) {
+		t.Fatal("feasible set rejected")
+	}
+	if in.Independent(bitset.FromSlice(6, []int{0, 1, 3})) {
+		t.Fatal("partition-violating set accepted")
+	}
+	if in.Independent(bitset.FromSlice(6, []int{0, 3, 4, 5})) {
+		t.Fatal("size-violating set accepted")
+	}
+	if got := in.MaxRank(); got != 3 {
+		t.Fatalf("MaxRank = %d, want 3", got)
+	}
+}
+
+func TestRankGreedyConsistency(t *testing.T) {
+	// Rank must be order-independent: compare against exhaustive max
+	// independent subset on small universes.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ends := make([][2]int, 7)
+		for i := range ends {
+			ends[i] = [2]int{rng.Intn(5), rng.Intn(5)}
+			if ends[i][0] == ends[i][1] {
+				ends[i][1] = (ends[i][1] + 1) % 5
+			}
+		}
+		g := NewGraphic(5, ends)
+		s := randomSet(rng, 7, 0.6)
+		got := Rank(g, s)
+		// Exhaustive: largest independent subset of s.
+		best := 0
+		elems := s.Elements()
+		for mask := 0; mask < 1<<len(elems); mask++ {
+			sub := bitset.New(7)
+			for i, e := range elems {
+				if mask&(1<<i) != 0 {
+					sub.Add(e)
+				}
+			}
+			if g.Independent(sub) && sub.Count() > best {
+				best = sub.Count()
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRankFunctionSubmodular: matroid rank is monotone submodular.
+func TestRankFunctionSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ends := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 0}}
+	f := RankFunction{M: NewGraphic(5, ends)}
+	if err := submodular.CheckSubmodular(f, rng, 300, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := submodular.CheckMonotone(f, rng, 300, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGraphicIndependent(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ends := make([][2]int, 200)
+	for i := range ends {
+		ends[i] = [2]int{rng.Intn(50), rng.Intn(50)}
+		if ends[i][0] == ends[i][1] {
+			ends[i][1] = (ends[i][1] + 1) % 50
+		}
+	}
+	g := NewGraphic(50, ends)
+	s := randomSet(rng, 200, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Independent(s)
+	}
+}

@@ -1,0 +1,149 @@
+// Package online implements the online power-down setting that precedes
+// the thesis (its "Previous work": Augustine–Irani–Swamy [5] and Irani–
+// Shukla–Gupta [31]).
+//
+// One processor executes jobs at fixed slots revealed only as they occur.
+// Between jobs the processor may sleep; staying awake costs rate·(elapsed
+// slots), waking from sleep costs α (the classical affine model). An
+// online policy decides, after each busy slot, how long to linger awake
+// before sleeping. The classical ski-rental argument shows the timeout
+// policy with threshold α (linger exactly α slots) is 2-competitive
+// against the offline optimum, which is the best deterministic ratio [9,31].
+//
+// This package exists as the baseline world the thesis generalizes away
+// from: experiment E14 measures the timeout policies against the exact
+// offline optimum computed by weighted interval covering, locating the
+// thesis's offline O(log n) result relative to its online ancestors.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy decides how many slots to linger awake after a busy slot before
+// sleeping, given the history of busy slots seen so far (most recent
+// last). Implementations must be deterministic.
+type Policy interface {
+	// Linger returns the number of slots to stay awake after the current
+	// busy slot (0 = sleep immediately).
+	Linger(history []int) int
+	// Name identifies the policy in experiment tables.
+	Name() string
+}
+
+// Timeout lingers a fixed number of slots — the ski-rental policy.
+// Threshold = α (in slots, for rate 1) is the classical 2-competitive
+// choice; Threshold = 0 sleeps immediately (wake per burst); a huge
+// Threshold approximates never-sleep.
+type Timeout struct {
+	Threshold int
+	Label     string
+}
+
+// Linger implements Policy.
+func (t Timeout) Linger([]int) int { return t.Threshold }
+
+// Name implements Policy.
+func (t Timeout) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return fmt.Sprintf("timeout(%d)", t.Threshold)
+}
+
+// Cost models the affine single-processor energy accounting.
+type Cost struct {
+	Alpha float64 // wake cost
+	Rate  float64 // energy per awake slot
+}
+
+// Simulate runs a policy over the sorted busy slots and returns its total
+// energy: every maximal awake interval pays Alpha + Rate·length, where the
+// awake intervals are implied by the policy's linger decisions. busySlots
+// must be distinct; they are sorted internally.
+func Simulate(p Policy, cost Cost, busySlots []int) float64 {
+	if len(busySlots) == 0 {
+		return 0
+	}
+	slots := append([]int(nil), busySlots...)
+	sort.Ints(slots)
+	total := cost.Alpha // first wake
+	intervalStart := slots[0]
+	awakeUntil := slots[0] + 1 // exclusive
+	var history []int
+	for i, t := range slots {
+		history = append(history, t)
+		if i > 0 && t > awakeUntil {
+			// A genuine idle period [awakeUntil, t) passed asleep: close
+			// the previous interval and pay the wake cost anew. t equal
+			// to awakeUntil is back-to-back operation — no sleep happens.
+			total += cost.Rate * float64(awakeUntil-intervalStart)
+			total += cost.Alpha
+			intervalStart = t
+		}
+		linger := p.Linger(history)
+		if linger < 0 {
+			linger = 0
+		}
+		if until := t + 1 + linger; until > awakeUntil {
+			awakeUntil = until
+		}
+	}
+	// Close the final interval at the last busy slot (an optimal online
+	// run never pays for lingering past the final job; charging it would
+	// only penalize the policy for the adversary ending the input).
+	lastBusy := slots[len(slots)-1] + 1
+	if awakeUntil > lastBusy {
+		awakeUntil = lastBusy
+	}
+	if awakeUntil < lastBusy {
+		awakeUntil = lastBusy
+	}
+	total += cost.Rate * float64(awakeUntil-intervalStart)
+	return total
+}
+
+// OfflineOptimal computes the minimum energy to be awake over all busy
+// slots with hindsight: dynamic programming over the sorted busy slots,
+// choosing where to break awake intervals (identical to the weighted
+// interval covering of schedexact, specialized to the affine model).
+func OfflineOptimal(cost Cost, busySlots []int) float64 {
+	if len(busySlots) == 0 {
+		return 0
+	}
+	slots := append([]int(nil), busySlots...)
+	sort.Ints(slots)
+	k := len(slots)
+	dp := make([]float64, k+1)
+	for i := 1; i <= k; i++ {
+		dp[i] = math.Inf(1)
+		for j := 0; j < i; j++ {
+			c := cost.Alpha + cost.Rate*float64(slots[i-1]+1-slots[j])
+			if dp[j]+c < dp[i] {
+				dp[i] = dp[j] + c
+			}
+		}
+	}
+	return dp[k]
+}
+
+// CompetitiveRatio simulates a policy and divides by the offline optimum.
+func CompetitiveRatio(p Policy, cost Cost, busySlots []int) float64 {
+	opt := OfflineOptimal(cost, busySlots)
+	if opt == 0 {
+		return 1
+	}
+	return Simulate(p, cost, busySlots) / opt
+}
+
+// SkiRental returns the 2-competitive timeout policy for the given cost
+// model: linger while the lingering energy is below one wake cost.
+func SkiRental(cost Cost) Timeout {
+	threshold := 0
+	if cost.Rate > 0 {
+		threshold = int(cost.Alpha / cost.Rate)
+	}
+	return Timeout{Threshold: threshold, Label: "ski-rental(α/rate)"}
+}

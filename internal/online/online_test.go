@@ -1,0 +1,161 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulateSingleBurst(t *testing.T) {
+	cost := Cost{Alpha: 5, Rate: 1}
+	// Contiguous busy slots 3,4,5: one interval of length 3.
+	got := Simulate(Timeout{Threshold: 0}, cost, []int{3, 4, 5})
+	if got != 5+3 {
+		t.Fatalf("Simulate = %v, want 8", got)
+	}
+}
+
+func TestSimulateSleepImmediately(t *testing.T) {
+	cost := Cost{Alpha: 5, Rate: 1}
+	// Two bursts far apart; timeout 0 sleeps between: two wakes.
+	got := Simulate(Timeout{Threshold: 0}, cost, []int{0, 10})
+	if got != 2*(5+1) {
+		t.Fatalf("Simulate = %v, want 12", got)
+	}
+}
+
+func TestSimulateLingerBridgesGap(t *testing.T) {
+	cost := Cost{Alpha: 5, Rate: 1}
+	// Gap of 3 idle slots; timeout 4 bridges it: one interval [0, 5).
+	got := Simulate(Timeout{Threshold: 4}, cost, []int{0, 4})
+	if got != 5+5 {
+		t.Fatalf("Simulate = %v, want 10", got)
+	}
+	// Timeout 2 does not bridge: sleeps after slot 0+1+2=3 < 4.
+	got = Simulate(Timeout{Threshold: 2}, cost, []int{0, 4})
+	if got != 5+1+2+5+1 {
+		t.Fatalf("Simulate = %v, want 14 (linger 2 then rewake)", got)
+	}
+}
+
+func TestSimulateNoTrailingLingerCharge(t *testing.T) {
+	cost := Cost{Alpha: 5, Rate: 1}
+	// Lingering past the final job is clamped.
+	a := Simulate(Timeout{Threshold: 100}, cost, []int{7})
+	b := Simulate(Timeout{Threshold: 0}, cost, []int{7})
+	if a != b {
+		t.Fatalf("trailing linger charged: %v vs %v", a, b)
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	if got := Simulate(Timeout{Threshold: 3}, Cost{Alpha: 1, Rate: 1}, nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := OfflineOptimal(Cost{Alpha: 1, Rate: 1}, nil); got != 0 {
+		t.Fatalf("offline empty = %v", got)
+	}
+}
+
+func TestOfflineOptimalKnown(t *testing.T) {
+	cost := Cost{Alpha: 5, Rate: 1}
+	// Gap of 3: bridging costs 3 extra awake, rewaking costs 5 -> bridge.
+	if got := OfflineOptimal(cost, []int{0, 4}); got != 5+5 {
+		t.Fatalf("OfflineOptimal = %v, want 10", got)
+	}
+	// Gap of 9: rewake (5) beats bridging (9).
+	if got := OfflineOptimal(cost, []int{0, 10}); got != 5+1+5+1 {
+		t.Fatalf("OfflineOptimal = %v, want 12", got)
+	}
+}
+
+// TestQuickOfflineNeverWorse: the offline optimum lower-bounds every
+// policy on random inputs.
+func TestQuickOfflineNeverWorse(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cost := Cost{Alpha: 1 + rng.Float64()*9, Rate: 0.5 + rng.Float64()}
+		slots := randomSlots(rng, 1+rng.Intn(20), 60)
+		opt := OfflineOptimal(cost, slots)
+		for _, th := range []int{0, 2, 5, 100} {
+			if Simulate(Timeout{Threshold: th}, cost, slots) < opt-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkiRentalTwoCompetitive: the α/rate timeout policy never exceeds
+// twice the offline optimum — the classical guarantee [31].
+func TestSkiRentalTwoCompetitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		cost := Cost{Alpha: 1 + rng.Float64()*9, Rate: 0.5 + rng.Float64()}
+		slots := randomSlots(rng, 1+rng.Intn(25), 80)
+		ratio := CompetitiveRatio(SkiRental(cost), cost, slots)
+		if ratio > 2+1e-9 {
+			t.Fatalf("ski-rental ratio %v > 2 on %v (cost %+v)", ratio, slots, cost)
+		}
+	}
+}
+
+// TestAdversarialGap: the classic worst case — a gap just over the
+// threshold — drives ski-rental to ratio ≈ 2, showing the bound is tight.
+func TestAdversarialGap(t *testing.T) {
+	// Many gaps just over the threshold: online pays linger+rewake ≈ 2α
+	// per gap while offline pays α, driving the ratio toward 2.
+	cost := Cost{Alpha: 50, Rate: 1}
+	p := SkiRental(cost) // threshold 50
+	var slots []int
+	for i := 0; i < 20; i++ {
+		slots = append(slots, i*52)
+	}
+	ratio := CompetitiveRatio(p, cost, slots)
+	if ratio < 1.85 {
+		t.Fatalf("adversarial ratio %v; expected close to 2", ratio)
+	}
+	if ratio > 2+1e-9 {
+		t.Fatalf("ratio %v exceeds 2", ratio)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Timeout{Threshold: 3}).Name() != "timeout(3)" {
+		t.Fatal("Name")
+	}
+	if SkiRental(Cost{Alpha: 4, Rate: 2}).Name() != "ski-rental(α/rate)" {
+		t.Fatal("ski-rental Name")
+	}
+	if SkiRental(Cost{Alpha: 4, Rate: 2}).Threshold != 2 {
+		t.Fatal("ski-rental threshold")
+	}
+}
+
+func randomSlots(rng *rand.Rand, n, horizon int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < n {
+		s := rng.Intn(horizon)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	slots := randomSlots(rng, 200, 2000)
+	cost := Cost{Alpha: 5, Rate: 1}
+	p := SkiRental(cost)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(p, cost, slots)
+	}
+}

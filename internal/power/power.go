@@ -1,0 +1,142 @@
+// Package power provides energy-cost models for awake intervals.
+//
+// The thesis generalizes the classical "restart cost α plus interval
+// length" model in three directions (§1): non-identical processors,
+// time-varying energy prices, and arbitrary (e.g. superlinear cooling)
+// dependence on interval length. CostModel is the oracle the scheduling
+// algorithms consume; each model here realizes one of those
+// generalizations. Costs of +Inf mark processor unavailability.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostModel prices keeping processor proc awake for the slot interval
+// [start, end). Implementations must be safe for concurrent use and must
+// return +Inf (not panic) for unavailable intervals.
+type CostModel interface {
+	Cost(proc, start, end int) float64
+}
+
+// Func adapts a plain function to CostModel, matching the thesis's "costs
+// … can be accessed through a query oracle".
+type Func func(proc, start, end int) float64
+
+// Cost implements CostModel.
+func (f Func) Cost(proc, start, end int) float64 { return f(proc, start, end) }
+
+// Affine is the classical model of [9,13]: α + rate·length for every
+// processor. With Rate 1 this is exactly "restart cost plus interval
+// length".
+type Affine struct {
+	Alpha float64 // restart/wake cost
+	Rate  float64 // energy per awake slot
+}
+
+// Cost implements CostModel.
+func (a Affine) Cost(proc, start, end int) float64 {
+	return a.Alpha + a.Rate*float64(end-start)
+}
+
+// PerProcessor generalizes Affine to heterogeneous machines (§1 item 1):
+// processor p pays Alpha[p] + Rate[p]·length.
+type PerProcessor struct {
+	Alpha []float64
+	Rate  []float64
+}
+
+// NewPerProcessor validates slice lengths and returns the model.
+func NewPerProcessor(alpha, rate []float64) PerProcessor {
+	if len(alpha) != len(rate) {
+		panic(fmt.Sprintf("power: %d alphas vs %d rates", len(alpha), len(rate)))
+	}
+	return PerProcessor{Alpha: alpha, Rate: rate}
+}
+
+// Cost implements CostModel.
+func (m PerProcessor) Cost(proc, start, end int) float64 {
+	return m.Alpha[proc] + m.Rate[proc]*float64(end-start)
+}
+
+// TimeOfUse prices awake slots by a market curve (§1 item 2): processor p
+// pays Alpha[p] + Rate[p]·Σ_{t∈[start,end)} Price[t]. Prefix sums make
+// each query O(1).
+type TimeOfUse struct {
+	Alpha  []float64 // per-processor wake cost
+	Rate   []float64 // per-processor consumption multiplier
+	prefix []float64 // prefix[t] = Σ_{u<t} Price[u]
+}
+
+// NewTimeOfUse builds the model from per-slot prices.
+func NewTimeOfUse(alpha, rate, price []float64) *TimeOfUse {
+	if len(alpha) != len(rate) {
+		panic(fmt.Sprintf("power: %d alphas vs %d rates", len(alpha), len(rate)))
+	}
+	prefix := make([]float64, len(price)+1)
+	for t, p := range price {
+		prefix[t+1] = prefix[t] + p
+	}
+	return &TimeOfUse{Alpha: alpha, Rate: rate, prefix: prefix}
+}
+
+// Horizon returns the number of priced slots.
+func (m *TimeOfUse) Horizon() int { return len(m.prefix) - 1 }
+
+// Cost implements CostModel.
+func (m *TimeOfUse) Cost(proc, start, end int) float64 {
+	if start < 0 || end > m.Horizon() || start > end {
+		return math.Inf(1)
+	}
+	return m.Alpha[proc] + m.Rate[proc]*(m.prefix[end]-m.prefix[start])
+}
+
+// Superlinear models cooling overhead (§1 item 3): α + rate·L + fan·L^exp
+// with exp > 1, so long awake stretches pay a superlinear premium and the
+// algorithm is incentivized to split them when gaps are cheap.
+type Superlinear struct {
+	Alpha, Rate float64
+	Fan         float64
+	Exp         float64
+}
+
+// Cost implements CostModel.
+func (s Superlinear) Cost(proc, start, end int) float64 {
+	l := float64(end - start)
+	return s.Alpha + s.Rate*l + s.Fan*math.Pow(l, s.Exp)
+}
+
+// Unavailable wraps a base model and marks (processor, slot) pairs as
+// unusable: any interval overlapping a blocked slot costs +Inf (§1's
+// "represent by setting the cost of the processor to be infinity").
+type Unavailable struct {
+	Base    CostModel
+	blocked map[int][]bool // proc -> slot -> blocked
+	horizon int
+}
+
+// NewUnavailable wraps base with an empty block list over the horizon.
+func NewUnavailable(base CostModel, horizon int) *Unavailable {
+	return &Unavailable{Base: base, blocked: map[int][]bool{}, horizon: horizon}
+}
+
+// Block marks slot t on processor proc as unavailable.
+func (u *Unavailable) Block(proc, t int) {
+	if _, ok := u.blocked[proc]; !ok {
+		u.blocked[proc] = make([]bool, u.horizon)
+	}
+	u.blocked[proc][t] = true
+}
+
+// Cost implements CostModel.
+func (u *Unavailable) Cost(proc, start, end int) float64 {
+	if row, ok := u.blocked[proc]; ok {
+		for t := start; t < end && t < len(row); t++ {
+			if t >= 0 && row[t] {
+				return math.Inf(1)
+			}
+		}
+	}
+	return u.Base.Cost(proc, start, end)
+}

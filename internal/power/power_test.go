@@ -1,0 +1,96 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAffine(t *testing.T) {
+	m := Affine{Alpha: 3, Rate: 2}
+	if got := m.Cost(0, 1, 4); got != 9 {
+		t.Fatalf("Cost = %v, want 9", got)
+	}
+	if got := m.Cost(5, 2, 2); got != 3 {
+		t.Fatalf("empty interval cost = %v, want alpha 3", got)
+	}
+}
+
+func TestPerProcessor(t *testing.T) {
+	m := NewPerProcessor([]float64{1, 10}, []float64{1, 2})
+	if got := m.Cost(0, 0, 3); got != 4 {
+		t.Fatalf("proc0 = %v, want 4", got)
+	}
+	if got := m.Cost(1, 0, 3); got != 16 {
+		t.Fatalf("proc1 = %v, want 16", got)
+	}
+}
+
+func TestPerProcessorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPerProcessor([]float64{1}, []float64{1, 2})
+}
+
+func TestTimeOfUse(t *testing.T) {
+	m := NewTimeOfUse([]float64{2}, []float64{1}, []float64{5, 1, 1, 5})
+	if got := m.Cost(0, 1, 3); got != 4 {
+		t.Fatalf("off-peak = %v, want 4", got)
+	}
+	if got := m.Cost(0, 0, 4); got != 14 {
+		t.Fatalf("full day = %v, want 14", got)
+	}
+	if got := m.Cost(0, 2, 6); !math.IsInf(got, 1) {
+		t.Fatalf("out-of-horizon = %v, want +Inf", got)
+	}
+	if m.Horizon() != 4 {
+		t.Fatalf("Horizon = %d", m.Horizon())
+	}
+}
+
+func TestTimeOfUsePeakAvoidanceIncentive(t *testing.T) {
+	// Two short intervals skipping the peak must beat one long interval
+	// when alpha is small — the behaviour §1 item 2 motivates.
+	m := NewTimeOfUse([]float64{0.5}, []float64{1}, []float64{1, 1, 9, 1, 1})
+	long := m.Cost(0, 0, 5)
+	split := m.Cost(0, 0, 2) + m.Cost(0, 3, 5)
+	if split >= long {
+		t.Fatalf("split %v should beat long %v", split, long)
+	}
+}
+
+func TestSuperlinear(t *testing.T) {
+	m := Superlinear{Alpha: 1, Rate: 1, Fan: 0.5, Exp: 2}
+	if got := m.Cost(0, 0, 2); got != 1+2+2 {
+		t.Fatalf("Cost = %v, want 5", got)
+	}
+	// Superlinearity: splitting a long interval saves fan cost.
+	long := m.Cost(0, 0, 10)
+	split := m.Cost(0, 0, 5) + m.Cost(0, 5, 10)
+	if split >= long {
+		t.Fatalf("split %v should beat long %v under superlinear fan", split, long)
+	}
+}
+
+func TestUnavailable(t *testing.T) {
+	u := NewUnavailable(Affine{Alpha: 1, Rate: 1}, 10)
+	u.Block(0, 5)
+	if got := u.Cost(0, 0, 5); got != 6 {
+		t.Fatalf("non-overlapping = %v, want 6", got)
+	}
+	if got := u.Cost(0, 3, 7); !math.IsInf(got, 1) {
+		t.Fatalf("overlapping = %v, want +Inf", got)
+	}
+	if got := u.Cost(1, 3, 7); got != 5 {
+		t.Fatalf("other proc = %v, want 5", got)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	m := Func(func(proc, start, end int) float64 { return float64(proc) + float64(end-start) })
+	if got := m.Cost(2, 0, 3); got != 5 {
+		t.Fatalf("Func = %v, want 5", got)
+	}
+}

@@ -1,0 +1,152 @@
+package sched
+
+import "sort"
+
+// Improve applies cost-decreasing local moves to a feasible schedule and
+// returns an improved copy (the input is not modified):
+//
+//  1. drop — remove any interval whose assigned slots are covered by the
+//     remaining intervals;
+//  2. merge — replace two same-processor intervals by their span whenever
+//     the cost oracle prices the span below their sum (profitable under
+//     affine costs when the gap is shorter than α/rate, and exactly the
+//     "combine awake intervals" behaviour §1 promises the model enables).
+//
+// Moves repeat to a fixed point. The result never costs more than the
+// input and remains feasible for the same assignment.
+func Improve(ins *Instance, s *Schedule) *Schedule {
+	out := &Schedule{
+		Intervals:  append([]Interval(nil), s.Intervals...),
+		Assignment: append([]SlotKey(nil), s.Assignment...),
+		Value:      s.Value,
+		Scheduled:  s.Scheduled,
+		Evals:      s.Evals,
+	}
+	for {
+		dropped := dropRedundant(ins, out)
+		merged := mergeProfitable(ins, out)
+		if !dropped && !merged {
+			break
+		}
+	}
+	out.Cost = 0
+	for _, iv := range out.Intervals {
+		out.Cost += ins.Cost.Cost(iv.Proc, iv.Start, iv.End)
+	}
+	return out
+}
+
+// neededSlots returns the assigned slots grouped by processor.
+func neededSlots(s *Schedule) map[int][]int {
+	byProc := map[int][]int{}
+	for _, a := range s.Assignment {
+		if a != Unassigned {
+			byProc[a.Proc] = append(byProc[a.Proc], a.Time)
+		}
+	}
+	for _, ts := range byProc {
+		sort.Ints(ts)
+	}
+	return byProc
+}
+
+// covered reports whether every slot in byProc is inside some interval.
+func covered(intervals []Interval, byProc map[int][]int) bool {
+	for proc, times := range byProc {
+		for _, t := range times {
+			ok := false
+			for _, iv := range intervals {
+				if iv.Contains(proc, t) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dropRedundant removes intervals not needed for coverage, cheapest-last
+// so expensive redundancy goes first. Returns true if anything changed.
+func dropRedundant(ins *Instance, s *Schedule) bool {
+	byProc := neededSlots(s)
+	// Try dropping intervals in decreasing cost order.
+	order := make([]int, len(s.Intervals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca := ins.Cost.Cost(s.Intervals[order[a]].Proc, s.Intervals[order[a]].Start, s.Intervals[order[a]].End)
+		cb := ins.Cost.Cost(s.Intervals[order[b]].Proc, s.Intervals[order[b]].Start, s.Intervals[order[b]].End)
+		return ca > cb
+	})
+	changed := false
+	removed := make([]bool, len(s.Intervals))
+	for _, idx := range order {
+		if ins.Cost.Cost(s.Intervals[idx].Proc, s.Intervals[idx].Start, s.Intervals[idx].End) <= 0 {
+			continue // free intervals never hurt
+		}
+		removed[idx] = true
+		var rest []Interval
+		for i, iv := range s.Intervals {
+			if !removed[i] {
+				rest = append(rest, iv)
+			}
+		}
+		if covered(rest, byProc) {
+			changed = true
+		} else {
+			removed[idx] = false
+		}
+	}
+	if changed {
+		var kept []Interval
+		for i, iv := range s.Intervals {
+			if !removed[i] {
+				kept = append(kept, iv)
+			}
+		}
+		s.Intervals = kept
+	}
+	return changed
+}
+
+// mergeProfitable merges one profitable same-processor pair per call.
+// Returns true if a merge happened.
+func mergeProfitable(ins *Instance, s *Schedule) bool {
+	const tol = 1e-12
+	for i := 0; i < len(s.Intervals); i++ {
+		for j := i + 1; j < len(s.Intervals); j++ {
+			a, b := s.Intervals[i], s.Intervals[j]
+			if a.Proc != b.Proc {
+				continue
+			}
+			span := Interval{Proc: a.Proc, Start: minInt(a.Start, b.Start), End: maxInt(a.End, b.End)}
+			spanCost := ins.Cost.Cost(span.Proc, span.Start, span.End)
+			pairCost := ins.Cost.Cost(a.Proc, a.Start, a.End) + ins.Cost.Cost(b.Proc, b.Start, b.End)
+			if spanCost < pairCost-tol {
+				s.Intervals[i] = span
+				s.Intervals = append(s.Intervals[:j], s.Intervals[j+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/bitset"
+	"repro/internal/budget"
+	"repro/internal/submodular"
+)
+
+// Model is the bipartite-graph formulation of an instance (§2.2): the X
+// side holds every time-slot/processor pair usable by at least one job,
+// the Y side holds the jobs, and edges encode the jobs' Allowed sets.
+type Model struct {
+	Ins       *Instance
+	Slots     []SlotKey        // X index -> slot
+	SlotIndex map[SlotKey]int  // slot -> X index
+	G         *bipartite.Graph // X = usable slots, Y = jobs
+	Values    []float64        // per-job values (Y weights)
+	Order     []int            // jobs by descending value (for weighted F)
+}
+
+// NewModel builds the bipartite formulation. Only slots usable by some job
+// become X vertices; slots no job can use never help any matching.
+func NewModel(ins *Instance) (*Model, error) {
+	if err := ins.check(); err != nil {
+		return nil, err
+	}
+	m := &Model{Ins: ins, SlotIndex: map[SlotKey]int{}}
+	type edge struct{ x, y int }
+	var edges []edge
+	for j, job := range ins.Jobs {
+		seen := map[SlotKey]bool{}
+		for _, s := range job.Allowed {
+			if seen[s] {
+				continue // duplicate Allowed entries are harmless input noise
+			}
+			seen[s] = true
+			idx, ok := m.SlotIndex[s]
+			if !ok {
+				idx = len(m.Slots)
+				m.SlotIndex[s] = idx
+				m.Slots = append(m.Slots, s)
+			}
+			edges = append(edges, edge{idx, j})
+		}
+	}
+	m.G = bipartite.NewGraph(len(m.Slots), len(ins.Jobs))
+	for _, e := range edges {
+		m.G.AddEdge(e.x, e.y)
+	}
+	m.Values = make([]float64, len(ins.Jobs))
+	for j, job := range ins.Jobs {
+		m.Values[j] = job.Value
+	}
+	m.Order = bipartite.WeightedOrder(m.Values)
+	return m, nil
+}
+
+// Candidates enumerates candidate awake intervals under the policy.
+func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
+	switch policy {
+	case SingleSlots:
+		out := make([]Interval, len(m.Slots))
+		for i, s := range m.Slots {
+			out[i] = Interval{Proc: s.Proc, Start: s.Time, End: s.Time + 1}
+		}
+		return out, nil
+	case EventPoints:
+		var out []Interval
+		byProc := m.usedTimesByProc()
+		for proc := 0; proc < m.Ins.Procs; proc++ {
+			times := byProc[proc]
+			for i := range times {
+				for j := i; j < len(times); j++ {
+					out = append(out, Interval{Proc: proc, Start: times[i], End: times[j] + 1})
+				}
+			}
+		}
+		return out, nil
+	case AllPairs:
+		h := m.Ins.Horizon
+		if p := m.Ins.Procs; p*h*h > 4_000_000 {
+			return nil, fmt.Errorf("sched: AllPairs would enumerate ~%d intervals; use EventPoints", p*h*h/2)
+		}
+		var out []Interval
+		for proc := 0; proc < m.Ins.Procs; proc++ {
+			for s := 0; s < h; s++ {
+				for e := s + 1; e <= h; e++ {
+					out = append(out, Interval{Proc: proc, Start: s, End: e})
+				}
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown candidate policy %d", int(policy))
+	}
+}
+
+// usedTimesByProc returns, per processor index, the sorted distinct slot
+// times used by at least one job.
+func (m *Model) usedTimesByProc() [][]int {
+	sets := make([]map[int]bool, m.Ins.Procs)
+	for _, s := range m.Slots {
+		if sets[s.Proc] == nil {
+			sets[s.Proc] = map[int]bool{}
+		}
+		sets[s.Proc][s.Time] = true
+	}
+	out := make([][]int, m.Ins.Procs)
+	for proc, set := range sets {
+		times := make([]int, 0, len(set))
+		for t := range set {
+			times = append(times, t)
+		}
+		sort.Ints(times)
+		out[proc] = times
+	}
+	return out
+}
+
+// IntervalItems returns the X indices of usable slots inside iv.
+func (m *Model) IntervalItems(iv Interval) []int {
+	var items []int
+	for t := iv.Start; t < iv.End; t++ {
+		if idx, ok := m.SlotIndex[SlotKey{Proc: iv.Proc, Time: t}]; ok {
+			items = append(items, idx)
+		}
+	}
+	return items
+}
+
+// candidate pairs an interval with its precomputed cost and slot items.
+type candidate struct {
+	iv    Interval
+	cost  float64
+	items []int
+}
+
+// buildCandidates prices and prunes the candidate intervals (the policy's
+// enumeration plus any caller-supplied extras): infinite-cost
+// (unavailable) and slotless intervals are dropped; negative costs are an
+// input error.
+func (m *Model) buildCandidates(policy CandidatePolicy, extra []Interval) ([]candidate, error) {
+	ivs, err := m.Candidates(policy)
+	if err != nil {
+		return nil, err
+	}
+	for _, iv := range extra {
+		if iv.Proc < 0 || iv.Proc >= m.Ins.Procs || iv.Start < 0 || iv.End > m.Ins.Horizon || iv.Start >= iv.End {
+			return nil, fmt.Errorf("sched: extra candidate %v outside instance", iv)
+		}
+	}
+	ivs = append(ivs, extra...)
+	out := make([]candidate, 0, len(ivs))
+	for _, iv := range ivs {
+		c := m.Ins.Cost.Cost(iv.Proc, iv.Start, iv.End)
+		if math.IsInf(c, 1) || math.IsNaN(c) {
+			continue
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("sched: negative cost %g for interval %v", c, iv)
+		}
+		items := m.IntervalItems(iv)
+		if len(items) == 0 {
+			continue
+		}
+		out = append(out, candidate{iv: iv, cost: c, items: items})
+	}
+	return out, nil
+}
+
+// budgetSubsets converts candidates to budget.Subset values over the slot
+// universe.
+func budgetSubsets(n int, cands []candidate) []budget.Subset {
+	subs := make([]budget.Subset, len(cands))
+	for i, c := range cands {
+		subs[i] = budget.Subset{
+			Items: bitset.FromSlice(n, c.items),
+			Cost:  c.cost,
+			Label: c.iv.String(),
+		}
+	}
+	return subs
+}
+
+// matchFn is Lemma 2.2.2's utility: F(S) = size of the maximum matching
+// saturating only slot-vertices in S. Monotone submodular.
+type matchFn struct{ m *Model }
+
+// Universe implements submodular.Function.
+func (f matchFn) Universe() int { return len(f.m.Slots) }
+
+// Eval implements submodular.Function via a fresh Hopcroft–Karp run.
+func (f matchFn) Eval(s *bitset.Set) float64 {
+	size, _, _ := bipartite.MaxMatching(f.m.G, s)
+	return float64(size)
+}
+
+// weightedMatchFn is Lemma 2.3.2's utility: F(S) = maximum total job value
+// of a matching saturating only slot-vertices in S. Monotone submodular.
+type weightedMatchFn struct{ m *Model }
+
+// Universe implements submodular.Function.
+func (f weightedMatchFn) Universe() int { return len(f.m.Slots) }
+
+// Eval implements submodular.Function.
+func (f weightedMatchFn) Eval(s *bitset.Set) float64 {
+	v, _, _ := bipartite.WeightedValue(f.m.G, f.m.Values, f.m.Order, s)
+	return v
+}
+
+// Functions exposed for property tests.
+var (
+	_ submodular.Function = matchFn{}
+	_ submodular.Function = weightedMatchFn{}
+)
+
+// MatchingUtility returns Lemma 2.2.2's F for external property tests.
+func (m *Model) MatchingUtility() submodular.Function { return matchFn{m} }
+
+// WeightedUtility returns Lemma 2.3.2's F for external property tests.
+func (m *Model) WeightedUtility() submodular.Function { return weightedMatchFn{m} }

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestUnschedulableCarriesHallWitness(t *testing.T) {
+	// Three jobs compete for two slots.
+	ins := &Instance{
+		Procs: 1, Horizon: 4,
+		Jobs: []Job{
+			{Allowed: []SlotKey{{Proc: 0, Time: 0}, {Proc: 0, Time: 1}}},
+			{Allowed: []SlotKey{{Proc: 0, Time: 0}, {Proc: 0, Time: 1}}},
+			{Allowed: []SlotKey{{Proc: 0, Time: 0}, {Proc: 0, Time: 1}}},
+		},
+		Cost: power.Affine{Alpha: 1, Rate: 1},
+	}
+	_, err := ScheduleAll(ins, Options{})
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("err = %v", err)
+	}
+	var witness *UnschedulableError
+	if !errors.As(err, &witness) {
+		t.Fatalf("no witness in %v", err)
+	}
+	if len(witness.Jobs) <= len(witness.Slots) {
+		t.Fatalf("witness not a Hall violation: %d jobs vs %d slots", len(witness.Jobs), len(witness.Slots))
+	}
+	if witness.Matched != 2 {
+		t.Fatalf("Matched = %d, want 2", witness.Matched)
+	}
+	// Every slot a witness job can use must appear in witness.Slots.
+	slotSet := map[SlotKey]bool{}
+	for _, s := range witness.Slots {
+		slotSet[s] = true
+	}
+	for _, j := range witness.Jobs {
+		for _, a := range ins.Jobs[j].Allowed {
+			if !slotSet[a] {
+				t.Fatalf("witness job %d can use %+v outside witness slots", j, a)
+			}
+		}
+	}
+}
+
+func TestWitnessErrorMessage(t *testing.T) {
+	e := &UnschedulableError{Matched: 1, Jobs: []int{0, 1}, Slots: []SlotKey{{Proc: 0, Time: 0}}}
+	msg := e.Error()
+	if msg == "" || !errors.Is(e, ErrUnschedulable) {
+		t.Fatalf("bad error surface: %q", msg)
+	}
+}

@@ -1,0 +1,333 @@
+// Package schedexact provides exact optima and previous-work baselines for
+// small scheduling instances.
+//
+// The exact solvers enumerate job-to-slot assignments and cover each
+// processor's chosen slots with a minimum-cost set of event-point awake
+// intervals (weighted interval covering by dynamic programming). Restricting
+// awake intervals to event points is lossless for monotone cost models
+// (shrinking an interval onto its outermost used slots never raises its
+// cost), which covers every model used in the experiments. The experiments
+// use these optima as the denominator of approximation ratios
+// (Theorem 2.2.1/2.3.x shapes).
+//
+// The baselines reproduce the prior work the thesis compares against:
+// AlwaysOn (no power management), PerJob (wake per job — the opposite
+// extreme), and MergeGaps (schedule first, then merge short gaps — the
+// 1+α-style heuristic of Demaine et al. [13], valid for affine costs).
+package schedexact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/sched"
+)
+
+// ErrBudgetExceeded is returned when the exact search would explore more
+// leaves than the caller's limit.
+var ErrBudgetExceeded = errors.New("schedexact: search budget exceeded")
+
+// Optimal returns a minimum-cost schedule of all jobs, or
+// sched.ErrUnschedulable. limit caps the number of assignment leaves
+// explored (0 means 5e6).
+func Optimal(ins *sched.Instance, limit int) (*sched.Schedule, error) {
+	return optimal(ins, math.Inf(-1), limit, true)
+}
+
+// OptimalPrize returns a minimum-cost schedule of total value at least z
+// (not necessarily all jobs), or sched.ErrValueUnreachable. limit caps the
+// number of assignment leaves explored (0 means 5e6).
+func OptimalPrize(ins *sched.Instance, z float64, limit int) (*sched.Schedule, error) {
+	s, err := optimal(ins, z, limit, false)
+	if errors.Is(err, sched.ErrUnschedulable) {
+		return nil, fmt.Errorf("%w: no subset reaches value %g", sched.ErrValueUnreachable, z)
+	}
+	return s, err
+}
+
+func optimal(ins *sched.Instance, z float64, limit int, all bool) (*sched.Schedule, error) {
+	if limit <= 0 {
+		limit = 5_000_000
+	}
+	n := len(ins.Jobs)
+	if n > 62 {
+		return nil, fmt.Errorf("schedexact: %d jobs is beyond exact range", n)
+	}
+	// Deduplicate Allowed lists per job.
+	allowed := make([][]sched.SlotKey, n)
+	for j, job := range ins.Jobs {
+		seen := map[sched.SlotKey]bool{}
+		for _, s := range job.Allowed {
+			if !seen[s] {
+				seen[s] = true
+				allowed[j] = append(allowed[j], s)
+			}
+		}
+	}
+	best := math.Inf(1)
+	var bestAssign []sched.SlotKey
+	cur := make([]sched.SlotKey, n)
+	used := map[sched.SlotKey]bool{}
+	leaves := 0
+	var budgetErr error
+
+	var rec func(j int, value float64)
+	rec = func(j int, value float64) {
+		if budgetErr != nil {
+			return
+		}
+		if j == n {
+			leaves++
+			if leaves > limit {
+				budgetErr = ErrBudgetExceeded
+				return
+			}
+			if !all && value < z {
+				return
+			}
+			cost, ok := coverCost(ins, cur, best)
+			if ok && cost < best {
+				best = cost
+				bestAssign = append([]sched.SlotKey(nil), cur...)
+			}
+			return
+		}
+		if !all {
+			cur[j] = sched.Unassigned
+			rec(j+1, value)
+		}
+		for _, s := range allowed[j] {
+			if used[s] {
+				continue
+			}
+			used[s] = true
+			cur[j] = s
+			if all {
+				rec(j+1, value)
+			} else {
+				rec(j+1, value+ins.Jobs[j].Value)
+			}
+			used[s] = false
+		}
+		cur[j] = sched.Unassigned
+	}
+	rec(0, 0)
+	if budgetErr != nil {
+		return nil, budgetErr
+	}
+	if bestAssign == nil {
+		return nil, sched.ErrUnschedulable
+	}
+	return buildFromAssignment(ins, bestAssign)
+}
+
+// coverCost computes the minimum cost of awake intervals covering the
+// assigned slots, processor by processor, pruning once the bound is hit.
+func coverCost(ins *sched.Instance, assign []sched.SlotKey, bound float64) (float64, bool) {
+	total := 0.0
+	byProc := slotsByProc(ins.Procs, assign)
+	for proc, times := range byProc {
+		if len(times) == 0 {
+			continue
+		}
+		total += coverProc(ins, proc, times)
+		if total >= bound {
+			return total, total < bound
+		}
+	}
+	return total, true
+}
+
+// coverProc solves weighted interval covering over the sorted occupied
+// times of one processor: dp[i] = min cost covering the first i slots,
+// dp[i] = min_j dp[j] + cost(proc, t_{j+1}, t_i + 1).
+func coverProc(ins *sched.Instance, proc int, times []int) float64 {
+	k := len(times)
+	dp := make([]float64, k+1)
+	for i := 1; i <= k; i++ {
+		dp[i] = math.Inf(1)
+		for j := 0; j < i; j++ {
+			c := ins.Cost.Cost(proc, times[j], times[i-1]+1)
+			if dp[j]+c < dp[i] {
+				dp[i] = dp[j] + c
+			}
+		}
+	}
+	return dp[k]
+}
+
+// coverIntervals reconstructs one optimal covering for a processor.
+func coverIntervals(ins *sched.Instance, proc int, times []int) []sched.Interval {
+	k := len(times)
+	if k == 0 {
+		return nil
+	}
+	dp := make([]float64, k+1)
+	from := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		dp[i] = math.Inf(1)
+		for j := 0; j < i; j++ {
+			c := ins.Cost.Cost(proc, times[j], times[i-1]+1)
+			if dp[j]+c < dp[i] {
+				dp[i] = dp[j] + c
+				from[i] = j
+			}
+		}
+	}
+	var out []sched.Interval
+	for i := k; i > 0; i = from[i] {
+		j := from[i]
+		out = append(out, sched.Interval{Proc: proc, Start: times[j], End: times[i-1] + 1})
+	}
+	return out
+}
+
+func slotsByProc(procs int, assign []sched.SlotKey) [][]int {
+	byProc := make([][]int, procs)
+	for _, s := range assign {
+		if s == sched.Unassigned {
+			continue
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s.Time)
+	}
+	for _, times := range byProc {
+		sort.Ints(times)
+	}
+	return byProc
+}
+
+// buildFromAssignment assembles a validated Schedule from a fixed
+// assignment, covering slots optimally.
+func buildFromAssignment(ins *sched.Instance, assign []sched.SlotKey) (*sched.Schedule, error) {
+	byProc := slotsByProc(ins.Procs, assign)
+	var intervals []sched.Interval
+	cost := 0.0
+	for proc, times := range byProc {
+		for _, iv := range coverIntervals(ins, proc, times) {
+			intervals = append(intervals, iv)
+			cost += ins.Cost.Cost(iv.Proc, iv.Start, iv.End)
+		}
+	}
+	value, scheduled := 0.0, 0
+	for j, s := range assign {
+		if s != sched.Unassigned {
+			value += ins.Jobs[j].Value
+			scheduled++
+		}
+	}
+	s := &sched.Schedule{
+		Intervals: intervals, Assignment: assign,
+		Cost: cost, Value: value, Scheduled: scheduled,
+	}
+	if err := s.Validate(ins); err != nil {
+		return nil, fmt.Errorf("schedexact: internal inconsistency: %w", err)
+	}
+	return s, nil
+}
+
+// matchingAssignment computes any full assignment via maximum matching,
+// used by the baselines. Returns nil if not all jobs fit.
+func matchingAssignment(ins *sched.Instance) []sched.SlotKey {
+	model, err := sched.NewModel(ins)
+	if err != nil {
+		return nil
+	}
+	size, _, matchY := bipartite.MaxMatching(model.G, nil)
+	if size < len(ins.Jobs) {
+		return nil
+	}
+	assign := make([]sched.SlotKey, len(ins.Jobs))
+	for j := range assign {
+		assign[j] = model.Slots[matchY[j]]
+	}
+	return assign
+}
+
+// AlwaysOn is the no-power-management baseline: every processor that hosts
+// at least one job stays awake for the whole horizon.
+func AlwaysOn(ins *sched.Instance) (*sched.Schedule, error) {
+	assign := matchingAssignment(ins)
+	if assign == nil {
+		return nil, sched.ErrUnschedulable
+	}
+	usedProc := make([]bool, ins.Procs)
+	for _, s := range assign {
+		usedProc[s.Proc] = true
+	}
+	var intervals []sched.Interval
+	cost, value := 0.0, 0.0
+	for p, used := range usedProc {
+		if used {
+			iv := sched.Interval{Proc: p, Start: 0, End: ins.Horizon}
+			intervals = append(intervals, iv)
+			cost += ins.Cost.Cost(p, 0, ins.Horizon)
+		}
+	}
+	for j := range ins.Jobs {
+		value += ins.Jobs[j].Value
+	}
+	return &sched.Schedule{Intervals: intervals, Assignment: assign,
+		Cost: cost, Value: value, Scheduled: len(ins.Jobs)}, nil
+}
+
+// PerJob is the opposite extreme: one unit awake interval per scheduled
+// job, paying the wake cost every time.
+func PerJob(ins *sched.Instance) (*sched.Schedule, error) {
+	assign := matchingAssignment(ins)
+	if assign == nil {
+		return nil, sched.ErrUnschedulable
+	}
+	var intervals []sched.Interval
+	cost, value := 0.0, 0.0
+	for _, s := range assign {
+		iv := sched.Interval{Proc: s.Proc, Start: s.Time, End: s.Time + 1}
+		intervals = append(intervals, iv)
+		cost += ins.Cost.Cost(s.Proc, s.Time, s.Time+1)
+	}
+	for j := range ins.Jobs {
+		value += ins.Jobs[j].Value
+	}
+	return &sched.Schedule{Intervals: intervals, Assignment: assign,
+		Cost: cost, Value: value, Scheduled: len(ins.Jobs)}, nil
+}
+
+// MergeGaps schedules via maximum matching, then merges awake intervals on
+// each processor whenever the gap between consecutive busy slots is at
+// most maxGap — the 1+α-flavored heuristic of Demaine et al. [13] when
+// maxGap ≈ α under affine costs.
+func MergeGaps(ins *sched.Instance, maxGap int) (*sched.Schedule, error) {
+	assign := matchingAssignment(ins)
+	if assign == nil {
+		return nil, sched.ErrUnschedulable
+	}
+	byProc := slotsByProc(ins.Procs, assign)
+	var intervals []sched.Interval
+	cost, value := 0.0, 0.0
+	for proc, times := range byProc {
+		if len(times) == 0 {
+			continue
+		}
+		start := times[0]
+		prev := times[0]
+		for _, t := range times[1:] {
+			if t-prev-1 > maxGap {
+				iv := sched.Interval{Proc: proc, Start: start, End: prev + 1}
+				intervals = append(intervals, iv)
+				cost += ins.Cost.Cost(proc, iv.Start, iv.End)
+				start = t
+			}
+			prev = t
+		}
+		iv := sched.Interval{Proc: proc, Start: start, End: prev + 1}
+		intervals = append(intervals, iv)
+		cost += ins.Cost.Cost(proc, iv.Start, iv.End)
+	}
+	for j := range ins.Jobs {
+		value += ins.Jobs[j].Value
+	}
+	return &sched.Schedule{Intervals: intervals, Assignment: assign,
+		Cost: cost, Value: value, Scheduled: len(ins.Jobs)}, nil
+}

@@ -1,0 +1,275 @@
+package schedexact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func window(proc, lo, hi int) []sched.SlotKey {
+	var out []sched.SlotKey
+	for t := lo; t < hi; t++ {
+		out = append(out, sched.SlotKey{Proc: proc, Time: t})
+	}
+	return out
+}
+
+func randomInstance(rng *rand.Rand, procs, horizon, jobs int) *sched.Instance {
+	used := map[sched.SlotKey]bool{}
+	var js []sched.Job
+	for len(js) < jobs {
+		s := sched.SlotKey{Proc: rng.Intn(procs), Time: rng.Intn(horizon)}
+		if used[s] {
+			continue
+		}
+		used[s] = true
+		allowed := []sched.SlotKey{s}
+		for k := 0; k < rng.Intn(3); k++ {
+			allowed = append(allowed, sched.SlotKey{Proc: rng.Intn(procs), Time: rng.Intn(horizon)})
+		}
+		js = append(js, sched.Job{Value: 1 + float64(rng.Intn(4)), Allowed: allowed})
+	}
+	return &sched.Instance{Procs: procs, Horizon: horizon, Jobs: js,
+		Cost: power.Affine{Alpha: 2, Rate: 1}}
+}
+
+func TestOptimalTiny(t *testing.T) {
+	// Two jobs in adjacent slots: one interval [0,2) of cost 2+2=4 beats
+	// two unit intervals of cost 3+3=6.
+	ins := &sched.Instance{
+		Procs: 1, Horizon: 4,
+		Jobs: []sched.Job{
+			{Value: 1, Allowed: window(0, 0, 1)},
+			{Value: 1, Allowed: window(0, 1, 2)},
+		},
+		Cost: power.Affine{Alpha: 2, Rate: 1},
+	}
+	s, err := Optimal(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost != 4 {
+		t.Fatalf("optimal cost = %v, want 4", s.Cost)
+	}
+	if len(s.Intervals) != 1 {
+		t.Fatalf("intervals = %v, want one merged interval", s.Intervals)
+	}
+}
+
+func TestOptimalPrefersGapUnderTimeOfUse(t *testing.T) {
+	// A price spike in the middle makes two separate intervals optimal.
+	price := []float64{1, 1, 50, 1, 1}
+	ins := &sched.Instance{
+		Procs: 1, Horizon: 5,
+		Jobs: []sched.Job{
+			{Value: 1, Allowed: window(0, 0, 2)},
+			{Value: 1, Allowed: window(0, 3, 5)},
+		},
+		Cost: power.NewTimeOfUse([]float64{1}, []float64{1}, price),
+	}
+	s, err := Optimal(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Intervals) != 2 {
+		t.Fatalf("intervals = %v, want 2 (avoid the spike)", s.Intervals)
+	}
+}
+
+func TestOptimalUnschedulable(t *testing.T) {
+	ins := &sched.Instance{
+		Procs: 1, Horizon: 3,
+		Jobs: []sched.Job{
+			{Allowed: []sched.SlotKey{{Proc: 0, Time: 0}}},
+			{Allowed: []sched.SlotKey{{Proc: 0, Time: 0}}},
+		},
+		Cost: power.Affine{Alpha: 1, Rate: 1},
+	}
+	if _, err := Optimal(ins, 0); !errors.Is(err, sched.ErrUnschedulable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOptimalBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ins := randomInstance(rng, 2, 10, 6)
+	if _, err := Optimal(ins, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestGreedyWithinLogFactor: ScheduleAll must stay within the Theorem 2.2.1
+// envelope of the true optimum on random small instances — and never beat
+// the optimum.
+func TestGreedyWithinLogFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		ins := randomInstance(rng, 2, 8, 4)
+		opt, err := Optimal(ins, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Validate(ins); err != nil {
+			t.Fatal(err)
+		}
+		grd, err := sched.ScheduleAll(ins, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grd.Cost < opt.Cost-1e-9 {
+			t.Fatalf("greedy %v beat 'optimal' %v — exact solver is wrong", grd.Cost, opt.Cost)
+		}
+		n := float64(len(ins.Jobs))
+		envelope := 4 * opt.Cost * (math.Log2(n+1) + 1)
+		if grd.Cost > envelope {
+			t.Fatalf("greedy %v outside envelope %v (opt %v)", grd.Cost, envelope, opt.Cost)
+		}
+	}
+}
+
+func TestOptimalPrize(t *testing.T) {
+	ins := &sched.Instance{
+		Procs: 1, Horizon: 6,
+		Jobs: []sched.Job{
+			{Value: 5, Allowed: window(0, 0, 2)},
+			{Value: 3, Allowed: window(0, 4, 6)},
+			{Value: 2, Allowed: window(0, 4, 6)},
+		},
+		Cost: power.Affine{Alpha: 3, Rate: 1},
+	}
+	// Z = 5: scheduling only job 0 (one unit interval, cost 4) is optimal.
+	s, err := OptimalPrize(ins, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value < 5 {
+		t.Fatalf("value %v < 5", s.Value)
+	}
+	if s.Cost != 4 {
+		t.Fatalf("cost = %v, want 4 (%v)", s.Cost, s.Intervals)
+	}
+	// Z = 8: need job 0 plus one of the late jobs; the cheapest cover puts
+	// job 0 at t=1 and a late job at t=4 under one interval [1,5): 3+4=7.
+	s, err = OptimalPrize(ins, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value < 8 || s.Cost != 7 {
+		t.Fatalf("value %v cost %v, want value>=8 cost 7", s.Value, s.Cost)
+	}
+}
+
+func TestOptimalPrizeUnreachable(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(4)), 1, 6, 3)
+	if _, err := OptimalPrize(ins, 1e9, 0); !errors.Is(err, sched.ErrValueUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPrizeGreedyNeverBeatsExact cross-validates PrizeCollectingExact
+// against the exact prize optimum.
+func TestPrizeGreedyNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		ins := randomInstance(rng, 1, 8, 4)
+		total := 0.0
+		for _, j := range ins.Jobs {
+			total += j.Value
+		}
+		z := 0.6 * total
+		opt, err := OptimalPrize(ins, z, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := sched.PrizeCollectingExact(ins, z, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grd.Value < z-1e-9 {
+			t.Fatalf("greedy value %v < Z %v", grd.Value, z)
+		}
+		if grd.Cost < opt.Cost-1e-9 {
+			t.Fatalf("greedy cost %v beat exact %v", grd.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestBaselinesValidateAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		ins := randomInstance(rng, 2, 10, 5)
+		ao, err := AlwaysOn(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := PerJob(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, err := MergeGaps(ins, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range map[string]*sched.Schedule{"always-on": ao, "per-job": pj, "merge-gaps": mg} {
+			if err := s.Validate(ins); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if s.Scheduled != len(ins.Jobs) {
+				t.Fatalf("%s scheduled %d of %d", name, s.Scheduled, len(ins.Jobs))
+			}
+		}
+		opt, err := Optimal(ins, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range map[string]*sched.Schedule{"always-on": ao, "per-job": pj, "merge-gaps": mg} {
+			if s.Cost < opt.Cost-1e-9 {
+				t.Fatalf("%s cost %v beat optimal %v", name, s.Cost, opt.Cost)
+			}
+		}
+	}
+}
+
+func TestMergeGapsZeroEqualsBlocks(t *testing.T) {
+	// maxGap 0 merges only contiguous busy slots.
+	ins := &sched.Instance{
+		Procs: 1, Horizon: 6,
+		Jobs: []sched.Job{
+			{Value: 1, Allowed: []sched.SlotKey{{Proc: 0, Time: 0}}},
+			{Value: 1, Allowed: []sched.SlotKey{{Proc: 0, Time: 1}}},
+			{Value: 1, Allowed: []sched.SlotKey{{Proc: 0, Time: 4}}},
+		},
+		Cost: power.Affine{Alpha: 1, Rate: 1},
+	}
+	s, err := MergeGaps(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Intervals) != 2 {
+		t.Fatalf("intervals = %v, want 2 blocks", s.Intervals)
+	}
+	// maxGap large merges everything into one interval.
+	s2, err := MergeGaps(ins, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Intervals) != 1 {
+		t.Fatalf("intervals = %v, want 1", s2.Intervals)
+	}
+}
+
+func BenchmarkOptimalSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ins := randomInstance(rng, 2, 8, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(ins, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package secretary
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+// ArrivalOracle enforces §3.2.1's online discipline: "the oracle answers
+// the query regarding the efficiency of a set S' only if all the
+// secretaries in S' have already arrived". Wrap a function with it, mark
+// arrivals as the stream advances, and any query touching an unseen item
+// records a violation. The secretary tests wrap every algorithm in one of
+// these to prove the implementations are genuinely online.
+type ArrivalOracle struct {
+	F          submodular.Function
+	arrived    *bitset.Set
+	violations []string
+}
+
+// NewArrivalOracle wraps f with nothing arrived yet.
+func NewArrivalOracle(f submodular.Function) *ArrivalOracle {
+	return &ArrivalOracle{F: f, arrived: bitset.New(f.Universe())}
+}
+
+// Arrive marks item as interviewed.
+func (a *ArrivalOracle) Arrive(item int) { a.arrived.Add(item) }
+
+// Universe implements submodular.Function.
+func (a *ArrivalOracle) Universe() int { return a.F.Universe() }
+
+// Eval implements submodular.Function, recording a violation if the query
+// touches an item that has not arrived.
+func (a *ArrivalOracle) Eval(s *bitset.Set) float64 {
+	if !s.SubsetOf(a.arrived) {
+		bad := bitset.Subtract(s, a.arrived)
+		a.violations = append(a.violations,
+			fmt.Sprintf("queried unseen items %v", bad.Elements()))
+	}
+	return a.F.Eval(s)
+}
+
+// Violations returns the recorded online-discipline violations.
+func (a *ArrivalOracle) Violations() []string { return a.violations }
+
+// RunMonotoneOnline runs Algorithm 1 against the arrival-disciplined
+// oracle, marking arrivals position by position. It mirrors
+// MonotoneSubmodular's segment structure exactly, but pushes arrivals into
+// the oracle so discipline violations surface.
+func RunMonotoneOnline(f submodular.Function, order []int, k int) (*bitset.Set, []string) {
+	oracle := NewArrivalOracle(f)
+	picked := monotoneWithArrivals(oracle, order, k)
+	return picked, oracle.Violations()
+}
+
+// monotoneWithArrivals is segmentGreedy with arrival bookkeeping: an item
+// is marked arrived immediately before the algorithm may first query it.
+func monotoneWithArrivals(oracle *ArrivalOracle, order []int, k int) *bitset.Set {
+	t := bitset.New(oracle.Universe())
+	n := len(order)
+	if n == 0 || k <= 0 {
+		return t
+	}
+	if k > n {
+		k = n
+	}
+	fT := oracle.Eval(t)
+	l := n / k
+	for i := 0; i < k; i++ {
+		lo, hi := i*l, (i+1)*l
+		if i == k-1 {
+			hi = n
+		}
+		obs := lo + sampleLen(hi-lo)
+		alpha := fT
+		for pos := lo; pos < obs; pos++ {
+			item := order[pos]
+			oracle.Arrive(item)
+			if t.Contains(item) {
+				continue
+			}
+			t.Add(item)
+			v := oracle.Eval(t)
+			t.Remove(item)
+			if v > alpha {
+				alpha = v
+			}
+		}
+		for pos := obs; pos < hi; pos++ {
+			item := order[pos]
+			oracle.Arrive(item)
+			if t.Contains(item) {
+				continue
+			}
+			t.Add(item)
+			v := oracle.Eval(t)
+			if v >= alpha && v >= fT {
+				fT = v
+				break
+			}
+			t.Remove(item)
+		}
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package secretary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+func TestArrivalOracleDetectsViolation(t *testing.T) {
+	f := &submodular.Modular{Weights: []float64{1, 2, 3}}
+	oracle := NewArrivalOracle(f)
+	oracle.Arrive(0)
+	s := bitset.FromSlice(3, []int{0})
+	oracle.Eval(s)
+	if len(oracle.Violations()) != 0 {
+		t.Fatalf("false positive: %v", oracle.Violations())
+	}
+	s.Add(2) // item 2 has not arrived
+	oracle.Eval(s)
+	if len(oracle.Violations()) != 1 {
+		t.Fatalf("missed violation: %v", oracle.Violations())
+	}
+}
+
+// TestAlgorithm1IsOnline: across random streams, Algorithm 1 never
+// queries an item before its arrival and matches the offline-driven
+// implementation's output exactly.
+func TestAlgorithm1IsOnline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := coverageStream(rng, 30, 60)
+	for trial := 0; trial < 50; trial++ {
+		order := rng.Perm(30)
+		k := 1 + rng.Intn(8)
+		online, violations := RunMonotoneOnline(f, order, k)
+		if len(violations) != 0 {
+			t.Fatalf("online discipline violated: %v", violations)
+		}
+		offline := MonotoneSubmodular(f, order, k)
+		if !online.Equal(offline) {
+			t.Fatalf("arrival-disciplined run diverged: %v vs %v", online, offline)
+		}
+	}
+}

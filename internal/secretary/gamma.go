@@ -1,0 +1,38 @@
+package secretary
+
+import "sort"
+
+// GammaValue evaluates the §3.6 oblivious objective: the hired values are
+// sorted in non-increasing order a₁ ≥ a₂ ≥ … and the score is Σ γᵢ·aᵢ.
+// gamma must be non-increasing and non-negative; extra hires beyond
+// len(gamma) contribute nothing.
+func GammaValue(stream []float64, hired []int, gamma []float64) float64 {
+	vals := make([]float64, 0, len(hired))
+	for _, pos := range hired {
+		vals = append(vals, stream[pos])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	total := 0.0
+	for i, v := range vals {
+		if i >= len(gamma) {
+			break
+		}
+		total += gamma[i] * v
+	}
+	return total
+}
+
+// OptGammaValue is the offline optimum of the §3.6 objective: the top
+// len(gamma) values in order, dotted with gamma.
+func OptGammaValue(values []float64, gamma []float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total := 0.0
+	for i, g := range gamma {
+		if i >= len(sorted) {
+			break
+		}
+		total += g * sorted[i]
+	}
+	return total
+}

@@ -1,0 +1,91 @@
+package secretary
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGammaValueKnown(t *testing.T) {
+	stream := []float64{5, 9, 1, 7}
+	hired := []int{0, 1, 3} // values 5, 9, 7 -> sorted 9, 7, 5
+	gamma := []float64{2, 1, 1}
+	if got := GammaValue(stream, hired, gamma); got != 2*9+7+5 {
+		t.Fatalf("GammaValue = %v, want 30", got)
+	}
+	// Extra hires beyond gamma contribute nothing.
+	if got := GammaValue(stream, hired, []float64{1}); got != 9 {
+		t.Fatalf("GammaValue truncated = %v, want 9", got)
+	}
+	if got := GammaValue(stream, nil, gamma); got != 0 {
+		t.Fatalf("GammaValue empty = %v", got)
+	}
+}
+
+func TestOptGammaValueKnown(t *testing.T) {
+	values := []float64{5, 9, 1, 7}
+	if got := OptGammaValue(values, []float64{2, 1}); got != 2*9+7 {
+		t.Fatalf("OptGammaValue = %v, want 25", got)
+	}
+	// gamma longer than the population.
+	if got := OptGammaValue([]float64{3}, []float64{1, 1, 1}); got != 3 {
+		t.Fatalf("OptGammaValue short = %v, want 3", got)
+	}
+}
+
+// TestGammaNeverExceedsOpt: any hire set scores at most OPT(γ).
+func TestGammaNeverExceedsOpt(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(30)
+		stream := make([]float64, n)
+		for i := range stream {
+			stream[i] = rng.Float64() * 50
+		}
+		k := 1 + rng.Intn(5)
+		gamma := make([]float64, k)
+		g := 10.0
+		for i := range gamma {
+			gamma[i] = g
+			g *= 0.5 + rng.Float64()*0.5 // non-increasing
+		}
+		hired := TopK(stream, k)
+		if GammaValue(stream, hired, gamma) > OptGammaValue(stream, gamma)+1e-9 {
+			t.Fatalf("hired set beat OPT(γ)")
+		}
+	}
+}
+
+// TestTopKObliviousRobustness: one TopK run is a constant fraction of
+// OPT(γ) on average for very different γ profiles simultaneously.
+func TestTopKObliviousRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, k, trials := 50, 5, 600
+	gammas := [][]float64{
+		{1, 1, 1, 1, 1},
+		{5, 4, 3, 2, 1},
+		{1, 0, 0, 0, 0},
+	}
+	sums := make([]float64, len(gammas))
+	opts := make([]float64, len(gammas))
+	for trial := 0; trial < trials; trial++ {
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 100
+		}
+		perm := rng.Perm(n)
+		stream := make([]float64, n)
+		for pos, item := range perm {
+			stream[pos] = values[item]
+		}
+		hired := TopK(stream, k)
+		for gi, gamma := range gammas {
+			sums[gi] += GammaValue(stream, hired, gamma)
+			opts[gi] += OptGammaValue(values, gamma)
+		}
+	}
+	for gi := range gammas {
+		if ratio := sums[gi] / opts[gi]; ratio < 0.2 {
+			t.Fatalf("gamma %v: ratio %v below constant", gammas[gi], ratio)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package secretary
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/matroid"
+	"repro/internal/submodular"
+)
+
+// MatroidSubmodular is Algorithm 3 (§3.3): the O(l log² r)-competitive
+// algorithm for maximizing a monotone submodular function subject to l
+// matroid constraints. It works on the first half of the stream (so that,
+// in expectation, a large independent fragment of the optimum is still
+// addable), guesses k = |S*| from the pool {2⁰, 2¹, …, 2^⌈log₂ r⌉}, and
+// runs the segment greedy gated by the matroid independence oracles.
+func MatroidSubmodular(f submodular.Function, constraints matroid.Intersection, order []int, rng *rand.Rand) *bitset.Set {
+	n := len(order)
+	half := order[:n/2]
+	r := constraints.MaxRank()
+	if r <= 0 || len(half) == 0 {
+		return bitset.New(f.Universe())
+	}
+	// Guess k uniformly from the log r sized pool.
+	logR := int(math.Ceil(math.Log2(float64(r))))
+	k := 1 << uint(rng.Intn(logR+1))
+
+	gate := func(t *bitset.Set, item int) bool {
+		return matroid.CanAdd(constraints, t, item)
+	}
+	if k <= logR || k == 1 {
+		// Small-k branch: classical 1/e-rule on the best single
+		// independent item of the first half.
+		return bestSingleIndependent(f, constraints, half)
+	}
+	return segmentGreedy(f, half, k/2, gate)
+}
+
+// MatroidSubmodularNonMonotone extends Algorithm 3 to non-monotone f the
+// same way Algorithm 2 extends Algorithm 1: a fair coin picks which half
+// of the stream to run on.
+func MatroidSubmodularNonMonotone(f submodular.Function, constraints matroid.Intersection, order []int, rng *rand.Rand) *bitset.Set {
+	n := len(order)
+	stream := order[:n/2]
+	if rng.Intn(2) == 1 {
+		stream = order[n/2:]
+	}
+	r := constraints.MaxRank()
+	if r <= 0 || len(stream) == 0 {
+		return bitset.New(f.Universe())
+	}
+	logR := int(math.Ceil(math.Log2(float64(r))))
+	k := 1 << uint(rng.Intn(logR+1))
+	gate := func(t *bitset.Set, item int) bool {
+		return matroid.CanAdd(constraints, t, item)
+	}
+	if k <= logR || k == 1 {
+		return bestSingleIndependent(f, constraints, stream)
+	}
+	return segmentGreedy(f, stream, k/2, gate)
+}
+
+// bestSingleIndependent runs the classical rule over singleton values,
+// restricted to items independent on their own.
+func bestSingleIndependent(f submodular.Function, constraints matroid.Intersection, stream []int) *bitset.Set {
+	out := bitset.New(f.Universe())
+	empty := bitset.New(f.Universe())
+	obs := sampleLen(len(stream))
+	bar := math.Inf(-1)
+	for pos := 0; pos < obs; pos++ {
+		if v := singletonValue(f, stream[pos]); v > bar {
+			bar = v
+		}
+	}
+	for pos := obs; pos < len(stream); pos++ {
+		item := stream[pos]
+		if !matroid.CanAdd(constraints, empty, item) {
+			continue
+		}
+		if singletonValue(f, item) >= bar {
+			out.Add(item)
+			return out
+		}
+	}
+	return out
+}
+
+func singletonValue(f submodular.Function, item int) float64 {
+	s := bitset.New(f.Universe())
+	s.Add(item)
+	return f.Eval(s)
+}

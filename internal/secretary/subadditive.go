@@ -1,0 +1,117 @@
+package secretary
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+// Subadditive is the O(√n)-competitive algorithm of §3.5.2 (with the
+// best-single-item branch folded in, giving min(k, n/k)-competitiveness —
+// O(√n) at the worst k): a fair coin picks between hiring the single best
+// item via the classical rule and hiring one uniformly random segment of k
+// consecutive arrivals wholesale.
+func Subadditive(f submodular.Function, order []int, k int, rng *rand.Rand) *bitset.Set {
+	out := bitset.New(f.Universe())
+	n := len(order)
+	if n == 0 || k <= 0 {
+		return out
+	}
+	if k > n {
+		k = n
+	}
+	if rng.Intn(2) == 0 {
+		// Best single item via the classical rule (k-competitive branch).
+		obs := sampleLen(n)
+		bar := math.Inf(-1)
+		for pos := 0; pos < obs; pos++ {
+			if v := singletonValue(f, order[pos]); v > bar {
+				bar = v
+			}
+		}
+		for pos := obs; pos < n; pos++ {
+			if singletonValue(f, order[pos]) >= bar {
+				out.Add(order[pos])
+				return out
+			}
+		}
+		return out
+	}
+	// Random-segment branch (n/k-competitive): f(S) ≤ Σ f(Sᵢ) by
+	// subadditivity, so a random segment carries ≥ k/n of the value in
+	// expectation.
+	segments := (n + k - 1) / k
+	seg := rng.Intn(segments)
+	lo := seg * k
+	hi := lo + k
+	if hi > n {
+		hi = n
+	}
+	for pos := lo; pos < hi; pos++ {
+		out.Add(order[pos])
+	}
+	return out
+}
+
+// HiddenSet is the hardness oracle of Theorem 3.5.1: a monotone
+// subadditive — indeed almost submodular (Proposition 3.5.3) — function
+// with a planted "good set" S*. Queries reveal nothing until they overlap
+// S* in more than r elements:
+//
+//	f(∅) = 0;  f(S) = max(1, ⌈|S ∩ S*|/r⌉) otherwise.
+//
+// Any algorithm issuing polynomially many value queries sees answer 1 on
+// essentially every query (Lemma 3.5.2), so it cannot locate S*; the
+// optimum f(S*) ≈ k/r stays hidden.
+type HiddenSet struct {
+	n    int
+	star *bitset.Set
+	r    float64
+}
+
+// NewHiddenSet plants S* by sampling each element with probability k/n,
+// with r = λ·(m·k/n) for query-size bound m and slack λ > 1, following the
+// proof of Lemma 3.5.2.
+func NewHiddenSet(rng *rand.Rand, n, k, m int, lambda float64) *HiddenSet {
+	star := bitset.New(n)
+	for e := 0; e < n; e++ {
+		if rng.Float64() < float64(k)/float64(n) {
+			star.Add(e)
+		}
+	}
+	r := lambda * float64(m) * float64(k) / float64(n)
+	if r < 1 {
+		r = 1
+	}
+	return &HiddenSet{n: n, star: star, r: r}
+}
+
+// Universe implements submodular.Function's shape (the oracle is
+// subadditive, not submodular; it still satisfies the same interface).
+func (h *HiddenSet) Universe() int { return h.n }
+
+// Eval implements the value oracle.
+func (h *HiddenSet) Eval(s *bitset.Set) float64 {
+	if s.Empty() {
+		return 0
+	}
+	g := float64(s.IntersectionCount(h.star))
+	v := math.Ceil(g / h.r)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Star returns the planted good set (for experiment reporting only — the
+// online algorithms never see it).
+func (h *HiddenSet) Star() *bitset.Set { return h.star.Clone() }
+
+// OptValue returns f(S*), the hidden optimum.
+func (h *HiddenSet) OptValue() float64 { return h.Eval(h.star) }
+
+// Compile-time check that HiddenSet satisfies the oracle interface shared
+// with submodular functions.
+var _ submodular.Function = (*HiddenSet)(nil)

@@ -1,0 +1,90 @@
+package secretary
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+// feasibleFunc gates whether an item may join the current selection; it is
+// how Algorithm 3 threads matroid constraints through Algorithm 1's
+// segment machinery.
+type feasibleFunc func(t *bitset.Set, item int) bool
+
+// segmentGreedy is the engine of Algorithm 1 (§3.2.1): split the stream
+// into k segments; in each segment run a classical 1/e-rule on the
+// *marginal* value f(T ∪ {a}) — clamped below by f(T), the thesis's first
+// if-statement, which also makes the non-monotone run non-decreasing — and
+// pick the first item clearing the bar and passing the feasibility gate.
+func segmentGreedy(f submodular.Function, order []int, k int, feasible feasibleFunc) *bitset.Set {
+	t := bitset.New(f.Universe())
+	n := len(order)
+	if n == 0 || k <= 0 {
+		return t
+	}
+	if k > n {
+		k = n
+	}
+	fT := f.Eval(t)
+	l := n / k
+	for i := 0; i < k; i++ {
+		lo, hi := i*l, (i+1)*l
+		if i == k-1 {
+			hi = n
+		}
+		obs := lo + sampleLen(hi-lo)
+		// Observation phase: set the bar α.
+		alpha := fT // the clamp "if αᵢ < f(Tᵢ₋₁) then αᵢ := f(Tᵢ₋₁)"
+		for pos := lo; pos < obs; pos++ {
+			item := order[pos]
+			if t.Contains(item) || !feasible(t, item) {
+				continue
+			}
+			t.Add(item)
+			v := f.Eval(t)
+			t.Remove(item)
+			if v > alpha {
+				alpha = v
+			}
+		}
+		// Selection phase: first item meeting the bar.
+		for pos := obs; pos < hi; pos++ {
+			item := order[pos]
+			if t.Contains(item) || !feasible(t, item) {
+				continue
+			}
+			t.Add(item)
+			v := f.Eval(t)
+			if v >= alpha && v >= fT {
+				fT = v
+				break
+			}
+			t.Remove(item)
+		}
+	}
+	return t
+}
+
+// unconstrained admits every item (Algorithm 1's cardinality budget is
+// enforced by the segment count itself: at most one pick per segment).
+func unconstrained(*bitset.Set, int) bool { return true }
+
+// MonotoneSubmodular is Algorithm 1: the 7e/(1−1/e)-ish competitive
+// monotone submodular secretary algorithm (Theorem 3.2.5 gives expected
+// value ≥ (1−1/e)/7e of the optimum k-subset).
+func MonotoneSubmodular(f submodular.Function, order []int, k int) *bitset.Set {
+	return segmentGreedy(f, order, k, unconstrained)
+}
+
+// Submodular is Algorithm 2: the 8e²-competitive algorithm for possibly
+// non-monotone submodular f (Theorem 3.2.8). It flips a fair coin and runs
+// Algorithm 1 on either the first or the second half of the stream.
+func Submodular(f submodular.Function, order []int, k int, rng *rand.Rand) *bitset.Set {
+	n := len(order)
+	half := n / 2
+	if rng.Intn(2) == 0 {
+		return segmentGreedy(f, order[:half], k, unconstrained)
+	}
+	return segmentGreedy(f, order[half:], k, unconstrained)
+}

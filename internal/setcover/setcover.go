@@ -1,0 +1,172 @@
+// Package setcover implements Set Cover instances, the greedy ln n
+// algorithm, and the approximation-preserving reduction from Set Cover to
+// one-interval scheduling with nonuniform processors (thesis Appendix .1,
+// Theorem .1.2).
+//
+// The reduction grounds the paper's hardness claim: scheduling inherits
+// Set Cover's Ω(log n) inapproximability, so the O(log n) of Theorem 2.2.1
+// is best possible. Experiment E12 runs the scheduling greedy through this
+// reduction and compares it with the direct set-cover greedy.
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// Instance is a weighted Set Cover instance over elements {0,...,N-1}.
+type Instance struct {
+	N     int
+	Sets  []*bitset.Set
+	Costs []float64
+}
+
+// Validate checks universe sizes and non-negative costs.
+func (ins *Instance) Validate() error {
+	if len(ins.Sets) != len(ins.Costs) {
+		return fmt.Errorf("setcover: %d sets vs %d costs", len(ins.Sets), len(ins.Costs))
+	}
+	for i, s := range ins.Sets {
+		if s.Universe() != ins.N {
+			return fmt.Errorf("setcover: set %d universe %d, want %d", i, s.Universe(), ins.N)
+		}
+		if ins.Costs[i] < 0 {
+			return fmt.Errorf("setcover: set %d has negative cost", i)
+		}
+	}
+	return nil
+}
+
+// ErrUncoverable is returned when the sets do not cover the universe.
+var ErrUncoverable = errors.New("setcover: universe not coverable")
+
+// Greedy runs the classical cost-effectiveness greedy: repeatedly pick the
+// set minimizing cost per newly covered element. Returns chosen indices and
+// total cost; the cost is within H_n ≈ ln n of optimal.
+func Greedy(ins *Instance) ([]int, float64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, 0, err
+	}
+	covered := bitset.New(ins.N)
+	var chosen []int
+	cost := 0.0
+	for covered.Count() < ins.N {
+		best, bestRatio := -1, 0.0
+		for i, s := range ins.Sets {
+			newCov := s.UnionCount(covered) - covered.Count()
+			if newCov == 0 {
+				continue
+			}
+			ratio := float64(newCov) / (ins.Costs[i] + 1e-12)
+			if ratio > bestRatio {
+				best, bestRatio = i, ratio
+			}
+		}
+		if best == -1 {
+			return nil, 0, ErrUncoverable
+		}
+		covered.UnionWith(ins.Sets[best])
+		chosen = append(chosen, best)
+		cost += ins.Costs[best]
+	}
+	return chosen, cost, nil
+}
+
+// Planted generates an instance with a known cover: k disjoint sets of
+// size N/k and unit cost form the planted cover (cost k); decoys are
+// random sets with random costs. The planted cover cost upper-bounds OPT.
+func Planted(rng *rand.Rand, n, k, decoys int) (*Instance, float64) {
+	ins := &Instance{N: n}
+	per := n / k
+	for i := 0; i < k; i++ {
+		s := bitset.New(n)
+		lo := i * per
+		hi := lo + per
+		if i == k-1 {
+			hi = n
+		}
+		for e := lo; e < hi; e++ {
+			s.Add(e)
+		}
+		ins.Sets = append(ins.Sets, s)
+		ins.Costs = append(ins.Costs, 1)
+	}
+	for d := 0; d < decoys; d++ {
+		s := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if rng.Intn(3) == 0 {
+				s.Add(e)
+			}
+		}
+		ins.Sets = append(ins.Sets, s)
+		ins.Costs = append(ins.Costs, 0.5+rng.Float64()*2)
+	}
+	return ins, float64(k)
+}
+
+// ToScheduling performs Theorem .1.2's reduction: one processor per set,
+// one job per element; job e may run on processor i (at any time) iff
+// e ∈ Sᵢ; every awake interval on processor i costs Costs[i] regardless of
+// its length. A minimum-cost schedule of all jobs is exactly a minimum
+// cover.
+func ToScheduling(ins *Instance) *sched.Instance {
+	// Processor i only ever hosts elements of Sᵢ, so |Sᵢ| slots suffice;
+	// this keeps the reduced instance small without weakening Theorem .1.2.
+	horizon := 1
+	for _, s := range ins.Sets {
+		if c := s.Count(); c > horizon {
+			horizon = c
+		}
+	}
+	jobs := make([]sched.Job, ins.N)
+	for e := 0; e < ins.N; e++ {
+		var allowed []sched.SlotKey
+		for i, s := range ins.Sets {
+			if s.Contains(e) {
+				for t := 0; t < s.Count(); t++ {
+					allowed = append(allowed, sched.SlotKey{Proc: i, Time: t})
+				}
+			}
+		}
+		jobs[e] = sched.Job{Value: 1, Allowed: allowed}
+	}
+	costs := append([]float64(nil), ins.Costs...)
+	return &sched.Instance{
+		Procs:   len(ins.Sets),
+		Horizon: horizon,
+		Jobs:    jobs,
+		Cost: power.Func(func(proc, start, end int) float64 {
+			return costs[proc]
+		}),
+	}
+}
+
+// CoverFromSchedule maps a schedule of the reduced instance back to a
+// cover: the distinct processors whose intervals were opened.
+func CoverFromSchedule(ins *Instance, s *sched.Schedule) ([]int, float64) {
+	seen := map[int]bool{}
+	var chosen []int
+	cost := 0.0
+	for _, iv := range s.Intervals {
+		if !seen[iv.Proc] {
+			seen[iv.Proc] = true
+			chosen = append(chosen, iv.Proc)
+			cost += ins.Costs[iv.Proc]
+		}
+	}
+	return chosen, cost
+}
+
+// IsCover reports whether the chosen sets cover the universe.
+func IsCover(ins *Instance, chosen []int) bool {
+	covered := bitset.New(ins.N)
+	for _, i := range chosen {
+		covered.UnionWith(ins.Sets[i])
+	}
+	return covered.Count() == ins.N
+}

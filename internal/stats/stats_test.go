@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almostEqual(s.Mean, 2.5, 1e-12) {
+		t.Fatalf("Summarize mean = %+v", s)
+	}
+	if !almostEqual(s.Stddev, math.Sqrt(5.0/3.0), 1e-12) {
+		t.Fatalf("Stddev = %v", s.Stddev)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.CI95() != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.CI95() != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	small := Summarize([]float64{1, 2, 3, 4})
+	big := Summarize(make([]float64, 0, 400))
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, 1, 2, 3, 4)
+	}
+	big = Summarize(xs)
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink with sample size: %v vs %v", big.CI95(), small.CI95())
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("Median odd = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("Median even = %v", m)
+	}
+	if q := Quantile([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9); q != 9 {
+		t.Fatalf("Quantile 0.9 = %v", q)
+	}
+	if q := Quantile([]float64{5}, 0.5); q != 5 {
+		t.Fatalf("Quantile single = %v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("Quantile empty = %v", q)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{0.12345, "0.1235"},
+		{12.345, "12.35"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "a", "b")
+	tbl.AddRow("x", 1.5)
+	tbl.AddRow("longer", 2)
+	tbl.Note = "a note"
+	out := tbl.String()
+	for _, want := range []string{"### demo", "| a ", "| b", "longer", "1.50", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Header separator present.
+	if !strings.Contains(out, "|---") && !strings.Contains(out, "|----") {
+		t.Errorf("missing separator row:\n%s", out)
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	tbl := NewTable("ragged", "a", "b", "c")
+	tbl.AddRow("only-one")
+	out := tbl.String()
+	if !strings.Contains(out, "only-one") {
+		t.Fatalf("ragged row dropped:\n%s", out)
+	}
+}

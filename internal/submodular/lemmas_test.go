@@ -1,0 +1,125 @@
+package submodular
+
+// Tests for the structural lemmas of thesis §3.2.2, checked on the
+// standard function library. These are the facts the secretary analyses
+// lean on; verifying them here catches any function implementation whose
+// "submodularity" is accidental.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func randomCoverage(rng *rand.Rand, nItems, ground int) *Coverage {
+	sets := make([]*bitset.Set, nItems)
+	for i := range sets {
+		sets[i] = bitset.New(ground)
+		for e := 0; e < ground; e++ {
+			if rng.Intn(4) == 0 {
+				sets[i].Add(e)
+			}
+		}
+	}
+	return NewCoverage(ground, sets, nil)
+}
+
+// TestLemma321 checks f(B) − f(A) ≤ Σ_{a∈B\A} [f(A∪{a}) − f(A)] for
+// nested sets (Lemma 3.2.1).
+func TestLemma321(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := randomCoverage(rng, 14, 30)
+	for trial := 0; trial < 200; trial++ {
+		a := bitset.New(14)
+		b := bitset.New(14)
+		for i := 0; i < 14; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+				b.Add(i)
+			} else if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		fa := f.Eval(a)
+		lhs := f.Eval(b) - fa
+		rhs := 0.0
+		for _, e := range bitset.Subtract(b, a).Elements() {
+			rhs += Marginal(f, a, e)
+		}
+		if lhs > rhs+1e-9 {
+			t.Fatalf("Lemma 3.2.1 violated: %v > %v", lhs, rhs)
+		}
+	}
+}
+
+// TestLemma323 checks that a uniformly random a-subset A of R satisfies
+// E[f(A)] ≥ (|A|/|R|)·f(R) (Lemma 3.2.3), statistically.
+func TestLemma323(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := randomCoverage(rng, 16, 40)
+	r := bitset.New(16)
+	for i := 0; i < 16; i++ {
+		if rng.Intn(2) == 0 {
+			r.Add(i)
+		}
+	}
+	elems := r.Elements()
+	if len(elems) < 4 {
+		t.Skip("degenerate R")
+	}
+	fR := f.Eval(r)
+	for _, a := range []int{1, len(elems) / 2, len(elems) - 1} {
+		const trials = 3000
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			perm := rng.Perm(len(elems))
+			sub := bitset.New(16)
+			for _, idx := range perm[:a] {
+				sub.Add(elems[idx])
+			}
+			sum += f.Eval(sub)
+		}
+		avg := sum / trials
+		want := float64(a) / float64(len(elems)) * fR
+		// 5% statistical slack on 3000 trials.
+		if avg < want*0.95 {
+			t.Fatalf("Lemma 3.2.3 violated for a=%d: E[f(A)]=%v < %v", a, avg, want)
+		}
+	}
+}
+
+// TestLemma327 checks f(R) ≤ f(R∪Z) + f(R∪Z') for disjoint Z, Z'
+// (Lemma 3.2.7) on non-monotone cut functions, where it has bite.
+func TestLemma327(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 12
+	cut := NewCut(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				cut.AddEdge(i, j, 1+rng.Float64()*4)
+			}
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		r := bitset.New(n)
+		z := bitset.New(n)
+		zp := bitset.New(n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				r.Add(i)
+			case 1:
+				z.Add(i)
+			case 2:
+				zp.Add(i)
+			}
+		}
+		fr := cut.Eval(r)
+		sum := cut.Eval(bitset.Union(r, z)) + cut.Eval(bitset.Union(r, zp))
+		if fr > sum+1e-9 {
+			t.Fatalf("Lemma 3.2.7 violated: f(R)=%v > %v (R=%v Z=%v Z'=%v)", fr, sum, r, z, zp)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package workload generates the deterministic synthetic workloads used by
+// tests, benchmarks, and the experiment harness.
+//
+// The thesis evaluates nothing empirically, so every generator here is a
+// substitution (DESIGN.md §3): planted instances provide a known feasible
+// cost that upper-bounds OPT; the market trace stands in for real
+// energy-price data; the job families realize the motivating scenarios of
+// the introduction. All generators take an explicit *rand.Rand so runs are
+// reproducible from a seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/gapdp"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/submodular"
+)
+
+// PlantedParams controls PlantedSchedule.
+type PlantedParams struct {
+	Procs            int
+	Horizon          int
+	IntervalsPerProc int
+	JobsPerInterval  int
+	ExtraSlotsPerJob int // decoy Allowed entries beyond the planted window
+	ValueSpread      float64
+	Cost             power.CostModel
+}
+
+// PlantedSchedule builds an instance containing a known feasible solution:
+// each processor gets IntervalsPerProc disjoint awake windows, each filled
+// with JobsPerInterval jobs whose windows lie inside it. The returned
+// planted cost (sum of the planted windows' costs) upper-bounds OPT.
+// Values are drawn uniformly from [1, ValueSpread] (1 if spread <= 1).
+func PlantedSchedule(rng *rand.Rand, p PlantedParams) (*sched.Instance, float64) {
+	if p.Cost == nil {
+		p.Cost = power.Affine{Alpha: 2, Rate: 1}
+	}
+	ins := &sched.Instance{Procs: p.Procs, Horizon: p.Horizon, Cost: p.Cost}
+	planted := 0.0
+	width := p.JobsPerInterval // planted window width = jobs inside it
+	for proc := 0; proc < p.Procs; proc++ {
+		// Disjoint windows: partition the horizon into IntervalsPerProc
+		// stripes and place one window at a random offset in each.
+		stripe := p.Horizon / p.IntervalsPerProc
+		for w := 0; w < p.IntervalsPerProc; w++ {
+			maxOff := stripe - width
+			if maxOff < 0 {
+				maxOff = 0
+			}
+			start := w*stripe + rng.Intn(maxOff+1)
+			end := start + width
+			if end > p.Horizon {
+				end = p.Horizon
+				start = end - width
+			}
+			planted += p.Cost.Cost(proc, start, end)
+			for j := 0; j < p.JobsPerInterval; j++ {
+				job := sched.Job{Value: 1}
+				if p.ValueSpread > 1 {
+					job.Value = 1 + rng.Float64()*(p.ValueSpread-1)
+				}
+				for t := start; t < end; t++ {
+					job.Allowed = append(job.Allowed, sched.SlotKey{Proc: proc, Time: t})
+				}
+				for e := 0; e < p.ExtraSlotsPerJob; e++ {
+					job.Allowed = append(job.Allowed, sched.SlotKey{
+						Proc: rng.Intn(p.Procs), Time: rng.Intn(p.Horizon),
+					})
+				}
+				ins.Jobs = append(ins.Jobs, job)
+			}
+		}
+	}
+	return ins, planted
+}
+
+// MarketTrace synthesizes a day-ahead electricity price curve over the
+// horizon: a base load with morning and evening peaks plus seeded noise,
+// strictly positive (DESIGN.md substitution 1).
+func MarketTrace(rng *rand.Rand, horizon int) []float64 {
+	price := make([]float64, horizon)
+	for t := range price {
+		x := float64(t) / float64(horizon) // day fraction
+		morning := 6 * math.Exp(-40*(x-0.35)*(x-0.35))
+		evening := 9 * math.Exp(-30*(x-0.8)*(x-0.8))
+		price[t] = 4 + morning + evening + rng.Float64()*1.5
+	}
+	return price
+}
+
+// MultiIntervalJobs builds an instance whose jobs each have several
+// disjoint candidate windows, possibly on different processors — the
+// generality separating this model from prior single-interval work.
+func MultiIntervalJobs(rng *rand.Rand, procs, horizon, jobs, windows, width int, cost power.CostModel) *sched.Instance {
+	if cost == nil {
+		cost = power.Affine{Alpha: 3, Rate: 1}
+	}
+	ins := &sched.Instance{Procs: procs, Horizon: horizon, Cost: cost}
+	for j := 0; j < jobs; j++ {
+		job := sched.Job{Value: 1 + float64(rng.Intn(4))}
+		for w := 0; w < windows; w++ {
+			proc := rng.Intn(procs)
+			start := rng.Intn(horizon - width + 1)
+			for t := start; t < start+width; t++ {
+				job.Allowed = append(job.Allowed, sched.SlotKey{Proc: proc, Time: t})
+			}
+		}
+		ins.Jobs = append(ins.Jobs, job)
+	}
+	return ins
+}
+
+// GapInstance builds a one-processor unit-job instance for the gap DP,
+// guaranteeing per-slot feasibility is plausible (windows of width ≥ 2).
+func GapInstance(rng *rand.Rand, horizon, jobs int) *gapdp.Instance {
+	ins := &gapdp.Instance{Horizon: horizon}
+	for j := 0; j < jobs; j++ {
+		r := rng.Intn(horizon - 1)
+		width := 2 + rng.Intn(horizon/2)
+		d := r + width
+		if d > horizon {
+			d = horizon
+		}
+		ins.Jobs = append(ins.Jobs, gapdp.Job{
+			Release: r, Deadline: d, Value: float64(1 + rng.Intn(9)),
+		})
+	}
+	return ins
+}
+
+// Coverage builds a random coverage function: nItems sets over a ground
+// set, each element included with probability p.
+func Coverage(rng *rand.Rand, nItems, ground int, p float64) *submodular.Coverage {
+	sets := make([]*bitset.Set, nItems)
+	for i := range sets {
+		sets[i] = bitset.New(ground)
+		for e := 0; e < ground; e++ {
+			if rng.Float64() < p {
+				sets[i].Add(e)
+			}
+		}
+	}
+	return submodular.NewCoverage(ground, sets, nil)
+}
+
+// Cut builds a random weighted graph cut function on n vertices with edge
+// probability p and weights in [1, 4).
+func Cut(rng *rand.Rand, n int, p float64) *submodular.Cut {
+	c := submodular.NewCut(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				c.AddEdge(i, j, 1+rng.Float64()*3)
+			}
+		}
+	}
+	return c
+}
+
+// FacilityLocation builds a random facility-location function with the
+// given client and facility counts.
+func FacilityLocation(rng *rand.Rand, clients, facilities int) *submodular.FacilityLocation {
+	benefit := make([][]float64, clients)
+	for c := range benefit {
+		benefit[c] = make([]float64, facilities)
+		for f := range benefit[c] {
+			benefit[c][f] = rng.Float64() * 10
+		}
+	}
+	return submodular.NewFacilityLocation(benefit)
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/submodular"
+)
+
+func TestPlantedScheduleFeasibleAtPlantedCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		ins, planted := PlantedSchedule(rng, PlantedParams{
+			Procs: 2, Horizon: 24, IntervalsPerProc: 2, JobsPerInterval: 3,
+			ExtraSlotsPerJob: 2,
+		})
+		if len(ins.Jobs) != 2*2*3 {
+			t.Fatalf("jobs = %d", len(ins.Jobs))
+		}
+		if planted <= 0 {
+			t.Fatalf("planted cost = %v", planted)
+		}
+		s, err := sched.ScheduleAll(ins, sched.Options{Fast: true})
+		if err != nil {
+			t.Fatalf("planted instance unschedulable: %v", err)
+		}
+		if err := s.Validate(ins); err != nil {
+			t.Fatal(err)
+		}
+		// Planted cost upper-bounds OPT, so greedy must respect the
+		// Theorem 2.2.1 envelope against it.
+		n := float64(len(ins.Jobs))
+		if s.Cost > 4*planted*(log2(n+1)+1) {
+			t.Fatalf("greedy %v far above planted %v", s.Cost, planted)
+		}
+	}
+}
+
+func log2(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}
+
+func TestPlantedValueSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ins, _ := PlantedSchedule(rng, PlantedParams{
+		Procs: 1, Horizon: 20, IntervalsPerProc: 2, JobsPerInterval: 4,
+		ValueSpread: 8,
+	})
+	lo, hi := 1e18, 0.0
+	for _, j := range ins.Jobs {
+		if j.Value < lo {
+			lo = j.Value
+		}
+		if j.Value > hi {
+			hi = j.Value
+		}
+	}
+	if lo < 1 || hi > 8 {
+		t.Fatalf("values outside [1,8]: [%v,%v]", lo, hi)
+	}
+	if hi/lo < 1.5 {
+		t.Fatalf("spread too narrow: [%v,%v]", lo, hi)
+	}
+}
+
+func TestMarketTracePositiveAndPeaked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	price := MarketTrace(rng, 48)
+	min, max := price[0], price[0]
+	for _, p := range price {
+		if p <= 0 {
+			t.Fatal("non-positive price")
+		}
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("trace too flat: [%v, %v]", min, max)
+	}
+}
+
+func TestMultiIntervalJobsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ins := MultiIntervalJobs(rng, 3, 30, 10, 2, 3, nil)
+	if len(ins.Jobs) != 10 {
+		t.Fatalf("jobs = %d", len(ins.Jobs))
+	}
+	for j, job := range ins.Jobs {
+		if len(job.Allowed) != 2*3 {
+			t.Fatalf("job %d has %d slots, want 6", j, len(job.Allowed))
+		}
+	}
+	// Must at least build a model (windows in range).
+	if _, err := sched.NewModel(ins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapInstanceValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		ins := GapInstance(rng, 12, 8)
+		if err := ins.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGeneratedFunctionsAreSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	fns := []submodular.Function{
+		Coverage(rng, 10, 20, 0.2),
+		Cut(rng, 10, 0.3),
+		FacilityLocation(rng, 8, 9),
+	}
+	for _, f := range fns {
+		if err := submodular.CheckSubmodular(f, rng, 200, 1e-9); err != nil {
+			t.Errorf("%T: %v", f, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, ca := PlantedSchedule(rand.New(rand.NewSource(9)), PlantedParams{
+		Procs: 2, Horizon: 20, IntervalsPerProc: 2, JobsPerInterval: 2,
+		Cost: power.Affine{Alpha: 1, Rate: 1},
+	})
+	b, cb := PlantedSchedule(rand.New(rand.NewSource(9)), PlantedParams{
+		Procs: 2, Horizon: 20, IntervalsPerProc: 2, JobsPerInterval: 2,
+		Cost: power.Affine{Alpha: 1, Rate: 1},
+	})
+	if ca != cb || len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("same seed produced different instances")
+	}
+	for j := range a.Jobs {
+		if len(a.Jobs[j].Allowed) != len(b.Jobs[j].Allowed) {
+			t.Fatal("same seed produced different jobs")
+		}
+		for s := range a.Jobs[j].Allowed {
+			if a.Jobs[j].Allowed[s] != b.Jobs[j].Allowed[s] {
+				t.Fatal("same seed produced different slots")
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package powersched is a Go implementation of "Scheduling to Minimize
+// Power Consumption using Submodular Functions" (Zadimoghaddam, MIT/SPAA
+// 2010 line of work).
+//
+// It exposes, as one documented surface, the repository's three layers:
+//
+//   - Offline power scheduling: multi-interval multi-processor instances
+//     with arbitrary interval-cost oracles, solved to O(log n) of optimal
+//     by budgeted submodular maximization (Theorems 2.2.1, 2.3.1, 2.3.3).
+//   - The budgeted submodular greedy itself (Lemma 2.1.2), usable with any
+//     monotone submodular utility.
+//   - The online (secretary) algorithms of Chapter 3: classical,
+//     submodular (monotone and non-monotone), matroid-constrained,
+//     knapsack-constrained, subadditive, and bottleneck.
+//
+// The implementation packages live under internal/; this facade re-exports
+// the stable API via type aliases, so internal refactors do not move the
+// public names. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduced results.
+package powersched
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/budget"
+	"repro/internal/matroid"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/secretary"
+	"repro/internal/submodular"
+)
+
+// ---- Scheduling (thesis §2.2–2.3) ----
+
+// Re-exported scheduling types; see the sched package for full semantics.
+type (
+	// Instance is a power-scheduling instance: processors, a slotted
+	// horizon, an interval-cost oracle, and unit jobs with arbitrary
+	// time-slot/processor pair sets.
+	Instance = sched.Instance
+	// Job is a unit job with its valid slot set and prize value.
+	Job = sched.Job
+	// SlotKey identifies a (processor, time-slot) pair.
+	SlotKey = sched.SlotKey
+	// Interval is an awake interval on one processor.
+	Interval = sched.Interval
+	// Schedule is the algorithms' output: intervals, assignments, cost.
+	Schedule = sched.Schedule
+	// Options tunes candidate enumeration and greedy strategy.
+	Options = sched.Options
+	// CandidatePolicy selects candidate awake-interval enumeration.
+	CandidatePolicy = sched.CandidatePolicy
+)
+
+// Candidate policies.
+const (
+	EventPoints = sched.EventPoints
+	SingleSlots = sched.SingleSlots
+	AllPairs    = sched.AllPairs
+)
+
+// Unassigned marks an unscheduled job in Schedule.Assignment.
+var Unassigned = sched.Unassigned
+
+// Errors returned by the scheduling algorithms.
+var (
+	ErrUnschedulable    = sched.ErrUnschedulable
+	ErrValueUnreachable = sched.ErrValueUnreachable
+)
+
+// ScheduleAll schedules every job at cost within O(log n) of optimal
+// (Theorem 2.2.1).
+func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
+	return sched.ScheduleAll(ins, opts)
+}
+
+// PrizeCollecting schedules value ≥ (1−ε)Z at cost within O(log 1/ε) of
+// any schedule of value ≥ Z (Theorem 2.3.1).
+func PrizeCollecting(ins *Instance, z float64, opts Options) (*Schedule, error) {
+	return sched.PrizeCollecting(ins, z, opts)
+}
+
+// PrizeCollectingExact schedules value ≥ Z at cost within
+// O(log n + log Δ) of optimal (Theorem 2.3.3).
+func PrizeCollectingExact(ins *Instance, z float64, opts Options) (*Schedule, error) {
+	return sched.PrizeCollectingExact(ins, z, opts)
+}
+
+// Improve post-processes a schedule with cost-decreasing local moves
+// (dropping redundant intervals, merging profitably priced spans). The
+// result never costs more and stays feasible for the same assignment.
+func Improve(ins *Instance, s *Schedule) *Schedule {
+	return sched.Improve(ins, s)
+}
+
+// ---- Energy-cost models (thesis §1) ----
+
+// Re-exported cost models; all implement CostModel.
+type (
+	// CostModel prices awake intervals per processor.
+	CostModel = power.CostModel
+	// Affine is the classical α + rate·length model.
+	Affine = power.Affine
+	// PerProcessor gives each processor its own α and rate.
+	PerProcessor = power.PerProcessor
+	// TimeOfUse prices slots by a market curve.
+	TimeOfUse = power.TimeOfUse
+	// Superlinear adds a fan/cooling premium growing in interval length.
+	Superlinear = power.Superlinear
+	// Unavailable marks blocked (processor, slot) pairs at infinite cost.
+	Unavailable = power.Unavailable
+	// CostFunc adapts a plain function to CostModel.
+	CostFunc = power.Func
+)
+
+// NewTimeOfUse builds a market-curve model from per-slot prices.
+func NewTimeOfUse(alpha, rate, price []float64) *TimeOfUse {
+	return power.NewTimeOfUse(alpha, rate, price)
+}
+
+// NewUnavailable wraps a base model with an unavailability mask.
+func NewUnavailable(base CostModel, horizon int) *Unavailable {
+	return power.NewUnavailable(base, horizon)
+}
+
+// ---- Submodular machinery (thesis §2.1) ----
+
+// Re-exported submodular types.
+type (
+	// Set is a subset of a fixed universe {0..n-1}.
+	Set = bitset.Set
+	// SubmodularFunction is the value-oracle interface.
+	SubmodularFunction = submodular.Function
+	// BudgetSubset is one allowable subset with its cost (Definition 1).
+	BudgetSubset = budget.Subset
+	// BudgetProblem asks for utility ≥ Threshold at minimum cost.
+	BudgetProblem = budget.Problem
+	// BudgetOptions tunes the budgeted greedy.
+	BudgetOptions = budget.Options
+	// BudgetResult reports the greedy's picks, cost, and trace.
+	BudgetResult = budget.Result
+)
+
+// NewSet returns an empty set over {0..n-1}.
+func NewSet(n int) *Set { return bitset.New(n) }
+
+// BudgetedGreedy runs Lemma 2.1.2's algorithm: utility ≥ (1−ε)·Threshold
+// at cost within O(log 1/ε) of any collection reaching Threshold.
+func BudgetedGreedy(p BudgetProblem, opts BudgetOptions) (*BudgetResult, error) {
+	return budget.Greedy(p, opts)
+}
+
+// BudgetedLazyGreedy computes the same picks with fewer oracle calls.
+func BudgetedLazyGreedy(p BudgetProblem, opts BudgetOptions) (*BudgetResult, error) {
+	return budget.LazyGreedy(p, opts)
+}
+
+// ---- Secretary algorithms (thesis Chapter 3) ----
+
+// Matroid re-exports the independence-oracle interface for the matroid
+// secretary problem.
+type Matroid = matroid.Matroid
+
+// MatroidIntersection is the feasibility structure of l matroids.
+type MatroidIntersection = matroid.Intersection
+
+// NewMatroidIntersection validates and combines matroids over one universe.
+func NewMatroidIntersection(ms ...Matroid) MatroidIntersection {
+	return matroid.NewIntersection(ms...)
+}
+
+// ClassicalSecretary runs the 1/e rule; returns the hired arrival
+// position or -1.
+func ClassicalSecretary(values []float64) int { return secretary.Classical(values) }
+
+// SubmodularSecretary runs Algorithm 1 (monotone f, pick ≤ k).
+func SubmodularSecretary(f SubmodularFunction, order []int, k int) *Set {
+	return secretary.MonotoneSubmodular(f, order, k)
+}
+
+// SubmodularSecretaryNonMonotone runs Algorithm 2 (8e²-competitive).
+func SubmodularSecretaryNonMonotone(f SubmodularFunction, order []int, k int, rng *rand.Rand) *Set {
+	return secretary.Submodular(f, order, k, rng)
+}
+
+// MatroidSecretary runs Algorithm 3 under l matroid constraints.
+func MatroidSecretary(f SubmodularFunction, constraints MatroidIntersection, order []int, rng *rand.Rand) *Set {
+	return secretary.MatroidSubmodular(f, constraints, order, rng)
+}
+
+// KnapsackSecretary runs the O(l)-competitive multi-knapsack algorithm.
+func KnapsackSecretary(f SubmodularFunction, weights [][]float64, caps []float64, order []int, rng *rand.Rand) *Set {
+	return secretary.Knapsack(f, weights, caps, order, rng)
+}
+
+// SubadditiveSecretary runs the O(√n)-competitive subadditive algorithm.
+func SubadditiveSecretary(f SubmodularFunction, order []int, k int, rng *rand.Rand) *Set {
+	return secretary.Subadditive(f, order, k, rng)
+}
+
+// BottleneckSecretary runs the min-aggregation rule of Theorem 3.6.1.
+func BottleneckSecretary(values []float64, k int) []int {
+	return secretary.BottleneckMin(values, k)
+}
