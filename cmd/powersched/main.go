@@ -118,7 +118,6 @@ func run(in io.Reader, out io.Writer) error {
 	var s *powersched.Schedule
 	switch spec.Mode {
 	case "all", "":
-		opts.Fast = true
 		s, err = powersched.ScheduleAll(ins, opts)
 	case "prize":
 		s, err = powersched.PrizeCollecting(ins, spec.Z, opts)

@@ -24,7 +24,7 @@ func main() {
 	ins := workload.MultiIntervalJobs(rng, 1, 60, 14, 3, 3,
 		powersched.Affine{Alpha: 8, Rate: 1}) // expensive radio wake
 
-	greedy, err := powersched.ScheduleAll(ins, powersched.Options{Fast: true})
+	greedy, err := powersched.ScheduleAll(ins, powersched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

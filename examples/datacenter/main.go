@@ -44,7 +44,7 @@ func main() {
 		ins.Jobs = append(ins.Jobs, job)
 	}
 
-	all, err := powersched.ScheduleAll(ins, powersched.Options{Fast: true})
+	all, err := powersched.ScheduleAll(ins, powersched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

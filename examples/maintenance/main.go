@@ -53,7 +53,7 @@ func main() {
 	for j := range ins.Jobs {
 		ins.Jobs[j].Allowed = append(ins.Jobs[j].Allowed, window(1, 9, 11)...)
 	}
-	s, err := powersched.ScheduleAll(ins, powersched.Options{Fast: true})
+	s, err := powersched.ScheduleAll(ins, powersched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func main() {
 		Cost: powersched.Affine{Alpha: 3, Rate: 1}, // wake cost 3, 1 energy/slot
 	}
 
-	s, err := powersched.ScheduleAll(ins, powersched.Options{Fast: true})
+	s, err := powersched.ScheduleAll(ins, powersched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,16 +9,18 @@
 // jobs saturated by such a matching (Lemma 2.3.2). Both functions are
 // submodular, which this package's tests verify empirically.
 //
-// Three engines are provided:
+// Four engines are provided:
 //
-//   - MaxMatching: Hopcroft–Karp, the O(E√V) reference used for full
-//     recomputation and as the ablation baseline (A3).
+//   - MaxMatching / MaxMatchingSize: Hopcroft–Karp, the O(E√V) reference
+//     used for full recomputation and as the ablation baseline (A3).
 //   - Matcher: an incremental engine that adds X vertices one at a time via
 //     single augmenting-path searches, supporting cheap what-if queries —
 //     the workhorse of the budgeted greedy's oracle calls.
 //   - WeightedValue: maximum-value saturating matching for vertex-weighted
 //     Y, computed by descending-weight greedy with augmenting paths, which
 //     is exact because schedulable job sets form a transversal matroid.
+//   - WeightedMatcher: the incremental counterpart of WeightedValue,
+//     keeping the matching alive across enablements and probes.
 package bipartite
 
 import (

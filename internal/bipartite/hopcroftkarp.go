@@ -1,39 +1,106 @@
 package bipartite
 
-import "repro/internal/bitset"
+import (
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+// hkScratch pools the Hopcroft–Karp working arrays: the from-scratch
+// oracle paths call MaxMatching once per greedy probe, and the four
+// per-call slice allocations showed up in their profiles.
+var hkScratch = sync.Pool{New: func() interface{} { return &hkWork{} }}
+
+type hkWork struct {
+	matchX, matchY, dist, queue []int32
+}
+
+// grow resizes the slices for a graph with nx/ny vertices.
+func (w *hkWork) grow(nx, ny int) {
+	if cap(w.matchX) < nx {
+		w.matchX = make([]int32, nx)
+		w.dist = make([]int32, nx)
+		w.queue = make([]int32, 0, nx)
+	}
+	if cap(w.matchY) < ny {
+		w.matchY = make([]int32, ny)
+	}
+	w.matchX = w.matchX[:nx]
+	w.dist = w.dist[:nx]
+	w.matchY = w.matchY[:ny]
+}
 
 // MaxMatching computes a maximum-cardinality matching using Hopcroft–Karp,
 // restricted to X vertices in enabled (nil enables all of X). It returns
 // the matching size and the match arrays: matchX[x] is the Y partner of x
-// or -1, and matchY[y] is the X partner of y or -1.
+// or -1, and matchY[y] is the X partner of y or -1. The returned slices
+// are freshly allocated and owned by the caller.
 func MaxMatching(g *Graph, enabled *bitset.Set) (int, []int32, []int32) {
-	const inf = int32(1) << 30
-	matchX := make([]int32, g.nx)
-	matchY := make([]int32, g.ny)
+	w := hkScratch.Get().(*hkWork)
+	w.grow(g.nx, g.ny)
+	size := maxMatchingInto(g, enabled, w)
+	matchX := append([]int32(nil), w.matchX...)
+	matchY := append([]int32(nil), w.matchY...)
+	hkScratch.Put(w)
+	return size, matchX, matchY
+}
+
+// MaxMatchingSize is MaxMatching without materializing the match arrays —
+// the right call for pure F(S) probes and feasibility checks.
+func MaxMatchingSize(g *Graph, enabled *bitset.Set) int {
+	w := hkScratch.Get().(*hkWork)
+	w.grow(g.nx, g.ny)
+	size := maxMatchingInto(g, enabled, w)
+	hkScratch.Put(w)
+	return size
+}
+
+// maxMatchingInto runs Hopcroft–Karp in the given workspace. Unvisited
+// vertices carry dist 0 (levels are stored +1), so each BFS phase resets
+// dist with a single branch-free memclr and iterates only enabled
+// vertices for roots and DFS starts (the memclr itself is still O(nx),
+// just far cheaper than the old per-vertex enabled/matched branching).
+func maxMatchingInto(g *Graph, enabled *bitset.Set, w *hkWork) int {
+	const dead = int32(-1) << 30
+	matchX := w.matchX
+	matchY := w.matchY
 	for i := range matchX {
 		matchX[i] = -1
 	}
 	for i := range matchY {
 		matchY[i] = -1
 	}
-	dist := make([]int32, g.nx)
-	queue := make([]int32, 0, g.nx)
+	dist := w.dist
+	queue := w.queue[:0]
 	size := 0
 
-	bfs := func() bool {
-		queue = queue[:0]
-		for x := 0; x < g.nx; x++ {
-			if !enabledAll(enabled, x) {
-				dist[x] = inf
-				continue
+	// forEnabled visits the enabled X vertices (all of X when enabled is
+	// nil). Matched vertices are enabled by construction, so traversal
+	// never needs a per-edge enabled check.
+	forEnabled := func(fn func(x int32)) {
+		if enabled == nil {
+			for x := 0; x < g.nx; x++ {
+				fn(int32(x))
 			}
-			if matchX[x] == -1 {
-				dist[x] = 0
-				queue = append(queue, int32(x))
-			} else {
-				dist[x] = inf
-			}
+			return
 		}
+		enabled.ForEach(func(x int) bool {
+			fn(int32(x))
+			return true
+		})
+	}
+
+	bfs := func() bool {
+		for i := range dist {
+			dist[i] = 0
+		}
+		queue = queue[:0]
+		forEnabled(func(x int32) {
+			if matchX[x] == -1 {
+				dist[x] = 1
+				queue = append(queue, x)
+			}
+		})
 		found := false
 		for qi := 0; qi < len(queue); qi++ {
 			x := queue[qi]
@@ -41,7 +108,7 @@ func MaxMatching(g *Graph, enabled *bitset.Set) (int, []int32, []int32) {
 				nx := matchY[y]
 				if nx == -1 {
 					found = true
-				} else if dist[nx] == inf {
+				} else if dist[nx] == 0 {
 					dist[nx] = dist[x] + 1
 					queue = append(queue, nx)
 				}
@@ -60,18 +127,17 @@ func MaxMatching(g *Graph, enabled *bitset.Set) (int, []int32, []int32) {
 				return true
 			}
 		}
-		dist[x] = inf
+		dist[x] = dead
 		return false
 	}
 
 	for bfs() {
-		for x := 0; x < g.nx; x++ {
-			if enabledAll(enabled, x) && matchX[x] == -1 && dist[x] == 0 {
-				if dfs(int32(x)) {
-					size++
-				}
+		forEnabled(func(x int32) {
+			if matchX[x] == -1 && dist[x] == 1 && dfs(x) {
+				size++
 			}
-		}
+		})
 	}
-	return size, matchX, matchY
+	w.queue = queue[:0]
+	return size
 }

@@ -8,7 +8,7 @@ import "repro/internal/bitset"
 // (Lemma 2.2.2 gives marginals in {0,1}), so a single augmenting-path
 // search per enabled vertex keeps the matching maximum. The budgeted greedy
 // issues many "what would F(S ∪ Sᵢ) be?" probes; GainOfSet answers them by
-// snapshotting the match arrays, augmenting, and restoring.
+// augmenting with an undo journal and rolling back.
 type Matcher struct {
 	g       *Graph
 	enabled *bitset.Set
@@ -21,9 +21,19 @@ type Matcher struct {
 	visited []int32
 	stamp   int32
 
-	// scratch buffers for GainOfSet snapshots.
-	saveX []int32
-	saveY []int32
+	// undo journals the (x, y) rematches performed while a GainOfSet
+	// probe is live, so the probe rolls back exactly what its augmenting
+	// paths touched instead of snapshotting whole match arrays.
+	logging bool
+	undo    []rematch
+	added   []int // probe scratch: temporarily enabled vertices
+}
+
+// rematch records one matchX/matchY write pair for rollback.
+type rematch struct {
+	x, y  int32
+	prevX int32 // former matchX[x]
+	prevY int32 // former matchY[y]
 }
 
 // NewMatcher returns a Matcher over g with no X vertices enabled.
@@ -34,8 +44,6 @@ func NewMatcher(g *Graph) *Matcher {
 		matchX:  make([]int32, g.nx),
 		matchY:  make([]int32, g.ny),
 		visited: make([]int32, g.ny),
-		saveX:   make([]int32, g.nx),
-		saveY:   make([]int32, g.ny),
 	}
 	for i := range m.matchX {
 		m.matchX[i] = -1
@@ -82,28 +90,33 @@ func (m *Matcher) EnableSet(xs []int) int {
 }
 
 // GainOfSet returns the matching-size gain that enabling xs would produce,
-// without committing the change. The cost is one snapshot/restore of the
-// match arrays plus one augmenting search per genuinely new vertex.
+// without committing the change. The cost is one augmenting search per
+// genuinely new vertex plus an undo of the paths those searches flipped —
+// no match-array snapshots.
 func (m *Matcher) GainOfSet(xs []int) int {
-	copy(m.saveX, m.matchX)
-	copy(m.saveY, m.matchY)
 	gain := 0
-	added := xs[:0:0] // fresh slice; records temporarily enabled vertices
+	m.logging = true
+	m.undo = m.undo[:0]
+	m.added = m.added[:0]
 	for _, x := range xs {
 		if m.enabled.Contains(x) {
 			continue
 		}
 		m.enabled.Add(x)
-		added = append(added, x)
+		m.added = append(m.added, x)
 		if m.augment(int32(x)) {
 			gain++
 		}
 	}
-	for _, x := range added {
+	for _, x := range m.added {
 		m.enabled.Remove(x)
 	}
-	copy(m.matchX, m.saveX)
-	copy(m.matchY, m.saveY)
+	for i := len(m.undo) - 1; i >= 0; i-- {
+		e := m.undo[i]
+		m.matchX[e.x] = e.prevX
+		m.matchY[e.y] = e.prevY
+	}
+	m.logging = false
 	return gain
 }
 
@@ -116,8 +129,6 @@ func (m *Matcher) Clone() *Matcher {
 		matchY:  append([]int32(nil), m.matchY...),
 		size:    m.size,
 		visited: make([]int32, m.g.ny),
-		saveX:   make([]int32, m.g.nx),
-		saveY:   make([]int32, m.g.ny),
 	}
 	return c
 }
@@ -137,6 +148,9 @@ func (m *Matcher) try(x int32) bool {
 		}
 		m.visited[y] = m.stamp
 		if m.matchY[y] == -1 || m.try(m.matchY[y]) {
+			if m.logging {
+				m.undo = append(m.undo, rematch{x: x, y: y, prevX: m.matchX[x], prevY: m.matchY[y]})
+			}
 			m.matchY[y] = x
 			m.matchX[x] = y
 			return true

@@ -53,7 +53,13 @@ type Options struct {
 	// Must be in (0, 1].
 	Eps float64
 	// Parallel evaluates candidate subsets concurrently in plain Greedy.
+	// It forces from-scratch Eval oracles: incremental probes share
+	// scratch state and cannot run concurrently.
 	Parallel bool
+	// PlainEval disables the incremental-oracle fast path even when F
+	// provides one (submodular.AsIncremental), recomputing every probe
+	// from scratch — the ablation A1/A3 baseline.
+	PlainEval bool
 }
 
 // Step records one greedy pick, forming the trace used by the phase
@@ -106,6 +112,14 @@ const tol = 1e-12
 
 // Greedy runs the algorithm of Lemma 2.1.2. On success the result has
 // capped utility at least (1−ε)·Threshold.
+//
+// When F provides an incremental oracle (submodular.AsIncremental) and
+// neither Parallel nor PlainEval is set, every probe F(S ∪ Sᵢ) is answered
+// by the stateful oracle's Gain instead of a from-scratch Eval. For
+// integer-valued oracles (coverage with unit weights, the matching
+// utilities) the pick sequence is bit-identical to the plain path; for
+// float-valued oracles the two paths sum the same terms in different
+// orders, so picks can differ at exact floating-point ties.
 func Greedy(p Problem, opts Options) (*Result, error) {
 	if err := validate(p, opts); err != nil {
 		return nil, err
@@ -114,20 +128,36 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 	x := p.Threshold
 	target := (1 - opts.Eps) * x
 
-	cur := bitset.New(p.F.Universe())
-	curU := math.Min(x, f.Eval(cur))
-	res := &Result{Union: cur}
-	picked := make([]bool, len(p.Subsets))
-
 	workers := 1
 	if opts.Parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Gate on the option, not the resolved worker count: on a 1-CPU
+	// machine Parallel still means "use the from-scratch Eval path", so
+	// results stay identical across machines.
+	inc, itemsOf := incrementalFor(f, p.Subsets, opts, !opts.Parallel)
+
+	cur := bitset.New(p.F.Universe())
+	var scratch *bitset.Set // plain-path probe buffer; unused incrementally
+	incBase := 0.0          // F(S) of the committed base; loop-invariant per round
+	if inc != nil {
+		incBase = inc.Value()
+	} else {
+		scratch = bitset.New(p.F.Universe())
+	}
+	curU := math.Min(x, utilityOf(f, inc, cur))
+	res := &Result{Union: cur}
+	picked := make([]bool, len(p.Subsets))
 
 	for curU < target-tol {
 		best, bestGain, bestRatio := -1, 0.0, math.Inf(-1)
 		consider := func(i int) (float64, float64, bool) {
-			v := math.Min(x, evalUnion(f, cur, p.Subsets[i].Items))
+			var v float64
+			if inc != nil {
+				v = math.Min(x, incBase+inc.Gain(itemsOf[i]))
+			} else {
+				v = math.Min(x, evalUnion(f, scratch, cur, p.Subsets[i].Items))
+			}
 			gain := v - curU
 			if gain <= tol {
 				return 0, 0, false
@@ -152,11 +182,15 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 			best, bestGain, bestRatio = parallelBest(p, f, cur, curU, x, picked, workers)
 		}
 		if best == -1 {
-			res.Utility = f.Eval(cur)
+			res.Utility = utilityOf(f, inc, cur)
 			res.Evals = f.Calls()
 			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
 		}
 		picked[best] = true
+		if inc != nil {
+			inc.Commit(itemsOf[best])
+			incBase = inc.Value()
+		}
 		cur.UnionWith(p.Subsets[best].Items)
 		curU += bestGain
 		res.Chosen = append(res.Chosen, best)
@@ -165,9 +199,38 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 			Subset: best, Gain: bestGain, Ratio: bestRatio, Cost: res.Cost, Utility: curU,
 		})
 	}
-	res.Utility = f.Eval(cur)
+	res.Utility = utilityOf(f, inc, cur)
 	res.Evals = f.Calls()
 	return res, nil
+}
+
+// incrementalFor sets up the incremental fast path: a fresh stateful
+// oracle plus each subset's materialized item list (extracted once so
+// probes don't re-walk bitsets every round). Returns (nil, nil) when the
+// plain Eval path must be used.
+func incrementalFor(f submodular.Function, subs []Subset, opts Options, serial bool) (submodular.Incremental, [][]int) {
+	if opts.PlainEval || !serial {
+		return nil, nil
+	}
+	inc, ok := submodular.AsIncremental(f)
+	if !ok {
+		return nil, nil
+	}
+	itemsOf := make([][]int, len(subs))
+	for i := range subs {
+		itemsOf[i] = subs[i].Items.Elements()
+	}
+	return inc, itemsOf
+}
+
+// utilityOf returns the uncapped F of the current union: the committed
+// value when running incrementally (cur mirrors the oracle's base set by
+// construction), a fresh Eval otherwise.
+func utilityOf(f submodular.Function, inc submodular.Incremental, cur *bitset.Set) float64 {
+	if inc != nil {
+		return inc.Value()
+	}
+	return f.Eval(cur)
 }
 
 // parallelBest scans candidates across workers; ties resolve to the lowest
@@ -230,10 +293,12 @@ func parallelBest(p Problem, f submodular.Function, cur *bitset.Set, curU, x flo
 	return best.idx, best.gain, best.ratio
 }
 
-func evalUnion(f submodular.Function, cur *bitset.Set, items *bitset.Set) float64 {
-	u := cur.Clone()
-	u.UnionWith(items)
-	return f.Eval(u)
+// evalUnion evaluates F(cur ∪ items) in the caller-provided scratch set,
+// so the plain-Eval probe loop allocates nothing per candidate.
+func evalUnion(f submodular.Function, scratch, cur, items *bitset.Set) float64 {
+	scratch.CopyFrom(cur)
+	scratch.UnionWith(items)
+	return f.Eval(scratch)
 }
 
 func validate(p Problem, opts Options) error {
@@ -283,7 +348,9 @@ func (h *lazyHeap) Pop() interface{} {
 }
 
 // LazyGreedy computes the same solution as Greedy with (typically far)
-// fewer oracle calls, using stale-ratio lazy evaluation.
+// fewer oracle calls, using stale-ratio lazy evaluation. Like Greedy it
+// takes the incremental fast path when F provides one, compounding the
+// two savings: fewer probes, and each probe cheaper.
 func LazyGreedy(p Problem, opts Options) (*Result, error) {
 	if err := validate(p, opts); err != nil {
 		return nil, err
@@ -292,23 +359,43 @@ func LazyGreedy(p Problem, opts Options) (*Result, error) {
 	x := p.Threshold
 	target := (1 - opts.Eps) * x
 
+	inc, itemsOf := incrementalFor(f, p.Subsets, opts, true)
+
 	cur := bitset.New(p.F.Universe())
-	curU := math.Min(x, f.Eval(cur))
+	var scratch *bitset.Set // plain-path probe buffer; unused incrementally
+	incBase := 0.0          // F(S) of the committed base; changes only on commit
+	if inc != nil {
+		incBase = inc.Value()
+	} else {
+		scratch = bitset.New(p.F.Universe())
+	}
+	curU := math.Min(x, utilityOf(f, inc, cur))
 	res := &Result{Union: cur}
+
+	probe := func(i int) (gain, ratio float64, ok bool) {
+		var v float64
+		if inc != nil {
+			v = math.Min(x, incBase+inc.Gain(itemsOf[i]))
+		} else {
+			v = math.Min(x, evalUnion(f, scratch, cur, p.Subsets[i].Items))
+		}
+		gain = v - curU
+		if gain <= tol {
+			return 0, 0, false
+		}
+		ratio = math.Inf(1)
+		if p.Subsets[i].Cost > tol {
+			ratio = gain / p.Subsets[i].Cost
+		}
+		return gain, ratio, true
+	}
 
 	h := make(lazyHeap, 0, len(p.Subsets))
 	round := 0
 	for i := range p.Subsets {
-		v := math.Min(x, evalUnion(f, cur, p.Subsets[i].Items))
-		gain := v - curU
-		if gain <= tol {
-			continue
+		if gain, ratio, ok := probe(i); ok {
+			h = append(h, lazyEntry{idx: i, ratio: ratio, gain: gain, round: round})
 		}
-		ratio := math.Inf(1)
-		if p.Subsets[i].Cost > tol {
-			ratio = gain / p.Subsets[i].Cost
-		}
-		h = append(h, lazyEntry{idx: i, ratio: ratio, gain: gain, round: round})
 	}
 	heap.Init(&h)
 
@@ -325,21 +412,20 @@ func LazyGreedy(p Problem, opts Options) (*Result, error) {
 			}
 			// Stale: re-evaluate against the current solution.
 			heap.Pop(&h)
-			v := math.Min(x, evalUnion(f, cur, p.Subsets[top.idx].Items))
-			gain := v - curU
-			if gain <= tol {
+			gain, ratio, ok := probe(top.idx)
+			if !ok {
 				continue // never useful again: capped marginals only shrink
-			}
-			ratio := math.Inf(1)
-			if p.Subsets[top.idx].Cost > tol {
-				ratio = gain / p.Subsets[top.idx].Cost
 			}
 			heap.Push(&h, lazyEntry{idx: top.idx, ratio: ratio, gain: gain, round: round})
 		}
 		if !found {
-			res.Utility = f.Eval(cur)
+			res.Utility = utilityOf(f, inc, cur)
 			res.Evals = f.Calls()
 			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
+		}
+		if inc != nil {
+			inc.Commit(itemsOf[pick.idx])
+			incBase = inc.Value()
 		}
 		cur.UnionWith(p.Subsets[pick.idx].Items)
 		curU += pick.gain
@@ -350,7 +436,7 @@ func LazyGreedy(p Problem, opts Options) (*Result, error) {
 			Subset: pick.idx, Gain: pick.gain, Ratio: pick.ratio, Cost: res.Cost, Utility: curU,
 		})
 	}
-	res.Utility = f.Eval(cur)
+	res.Utility = utilityOf(f, inc, cur)
 	res.Evals = f.Calls()
 	return res, nil
 }

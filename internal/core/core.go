@@ -22,9 +22,9 @@ import (
 
 // Report summarizes one instance solved by every applicable algorithm.
 type Report struct {
-	Greedy    *sched.Schedule // ScheduleAll (budgeted submodular greedy)
+	Greedy    *sched.Schedule // ScheduleAll with from-scratch oracles (PlainOracle)
 	Lazy      *sched.Schedule // lazy-evaluation variant
-	Fast      *sched.Schedule // incremental-matcher variant
+	Fast      *sched.Schedule // incremental-matcher oracle (the default path)
 	AlwaysOn  *sched.Schedule
 	PerJob    *sched.Schedule
 	MergeGaps *sched.Schedule
@@ -39,13 +39,13 @@ type Report struct {
 func SolveAll(ins *sched.Instance, exactLimit int) (*Report, error) {
 	r := &Report{}
 	var err error
-	if r.Greedy, err = sched.ScheduleAll(ins, sched.Options{}); err != nil {
+	if r.Greedy, err = sched.ScheduleAll(ins, sched.Options{PlainOracle: true}); err != nil {
 		return nil, fmt.Errorf("core: greedy: %w", err)
 	}
 	if r.Lazy, err = sched.ScheduleAll(ins, sched.Options{Lazy: true}); err != nil {
 		return nil, fmt.Errorf("core: lazy: %w", err)
 	}
-	if r.Fast, err = sched.ScheduleAll(ins, sched.Options{Fast: true}); err != nil {
+	if r.Fast, err = sched.ScheduleAll(ins, sched.Options{}); err != nil {
 		return nil, fmt.Errorf("core: fast: %w", err)
 	}
 	if r.AlwaysOn, err = schedexact.AlwaysOn(ins); err != nil {

@@ -221,9 +221,13 @@ func TestA1Shape(t *testing.T) {
 	for r := range rows {
 		plain := cell(t, rows, r, 1)
 		lazy := cell(t, rows, r, 2)
-		same := cell(t, rows, r, 4)
+		inc := cell(t, rows, r, 3)
+		same := cell(t, rows, r, 7)
 		if lazy > plain {
 			t.Errorf("row %d: lazy evals %v exceed plain %v", r, lazy, plain)
+		}
+		if inc > plain {
+			t.Errorf("row %d: incremental probes %v exceed plain evals %v", r, inc, plain)
 		}
 		if same < 1 {
 			t.Errorf("row %d: pick sequences diverged (frac %v)", r, same)
@@ -234,8 +238,13 @@ func TestA1Shape(t *testing.T) {
 func TestA3Shape(t *testing.T) {
 	rows := tableFor(t, "A3")
 	for r := range rows {
-		if same := cell(t, rows, r, 4); same < 1 {
-			t.Errorf("row %d: fast and HK paths disagreed on cost", r)
+		incEv := cell(t, rows, r, 4)
+		hkEv := cell(t, rows, r, 5)
+		if incEv > hkEv {
+			t.Errorf("row %d: incremental probes %v exceed HK evals %v", r, incEv, hkEv)
+		}
+		if same := cell(t, rows, r, 6); same < 1 {
+			t.Errorf("row %d: incremental and HK paths disagreed on cost", r)
 		}
 	}
 }

@@ -81,7 +81,7 @@ func E2(cfg Config) *stats.Table {
 		}
 		parTrials(trials, cfg.Seed+int64(n), func(trial int, rng *rand.Rand) {
 			ins, b := e2Instance(rng, n)
-			if s, err := sched.ScheduleAll(ins, sched.Options{Fast: true}); err == nil {
+			if s, err := sched.ScheduleAll(ins, sched.Options{}); err == nil {
 				ratios["greedy"][trial] = s.Cost / b
 			}
 			if s, err := sched.ScheduleAll(ins, sched.Options{Lazy: true}); err == nil {
@@ -196,7 +196,7 @@ func E12(cfg Config) *stats.Table {
 			}
 			gr[trial] = cost / k
 			red := setcover.ToScheduling(ins)
-			s, err := sched.ScheduleAll(red, sched.Options{Fast: true})
+			s, err := sched.ScheduleAll(red, sched.Options{Lazy: true})
 			if err != nil {
 				return
 			}

@@ -164,8 +164,7 @@ func (t Transversal) Universe() int { return t.G.NX() }
 
 // Independent implements Matroid.
 func (t Transversal) Independent(s *bitset.Set) bool {
-	size, _, _ := bipartite.MaxMatching(t.G, s)
-	return size == s.Count()
+	return bipartite.MaxMatchingSize(t.G, s) == s.Count()
 }
 
 // LaminarFamily is one capacity constraint of a laminar matroid.

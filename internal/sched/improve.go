@@ -50,13 +50,14 @@ func neededSlots(s *Schedule) map[int][]int {
 	return byProc
 }
 
-// covered reports whether every slot in byProc is inside some interval.
-func covered(intervals []Interval, byProc map[int][]int) bool {
+// covered reports whether every slot in byProc is inside some interval
+// whose index is not marked removed (removed may be nil).
+func covered(intervals []Interval, removed []bool, byProc map[int][]int) bool {
 	for proc, times := range byProc {
 		for _, t := range times {
 			ok := false
-			for _, iv := range intervals {
-				if iv.Contains(proc, t) {
+			for i, iv := range intervals {
+				if (removed == nil || !removed[i]) && iv.Contains(proc, t) {
 					ok = true
 					break
 				}
@@ -90,13 +91,7 @@ func dropRedundant(ins *Instance, s *Schedule) bool {
 			continue // free intervals never hurt
 		}
 		removed[idx] = true
-		var rest []Interval
-		for i, iv := range s.Intervals {
-			if !removed[i] {
-				rest = append(rest, iv)
-			}
-		}
-		if covered(rest, byProc) {
+		if covered(s.Intervals, removed, byProc) {
 			changed = true
 		} else {
 			removed[idx] = false

@@ -21,6 +21,12 @@ type Model struct {
 	G         *bipartite.Graph // X = usable slots, Y = jobs
 	Values    []float64        // per-job values (Y weights)
 	Order     []int            // jobs by descending value (for weighted F)
+
+	// Per-processor sorted views of Slots, precomputed so that candidate
+	// enumeration and IntervalItems run on sorted slices instead of map
+	// lookups (they sit inside the greedy's candidate loops).
+	timesByProc [][]int // sorted distinct slot times per processor
+	slotsByProc [][]int // X indices parallel to timesByProc
 }
 
 // NewModel builds the bipartite formulation. Only slots usable by some job
@@ -57,7 +63,29 @@ func NewModel(ins *Instance) (*Model, error) {
 		m.Values[j] = job.Value
 	}
 	m.Order = bipartite.WeightedOrder(m.Values)
+	m.buildProcIndex()
 	return m, nil
+}
+
+// buildProcIndex sorts the usable slots per processor by time and records
+// the matching X indices, replacing per-lookup map traffic in the hot
+// candidate-enumeration paths.
+func (m *Model) buildProcIndex() {
+	m.timesByProc = make([][]int, m.Ins.Procs)
+	m.slotsByProc = make([][]int, m.Ins.Procs)
+	perProc := make([][]int, m.Ins.Procs) // X indices grouped by processor
+	for x, s := range m.Slots {
+		perProc[s.Proc] = append(perProc[s.Proc], x)
+	}
+	for proc, xs := range perProc {
+		sort.Slice(xs, func(a, b int) bool { return m.Slots[xs[a]].Time < m.Slots[xs[b]].Time })
+		times := make([]int, len(xs))
+		for i, x := range xs {
+			times[i] = m.Slots[x].Time
+		}
+		m.timesByProc[proc] = times
+		m.slotsByProc[proc] = xs
+	}
 }
 
 // Candidates enumerates candidate awake intervals under the policy.
@@ -71,9 +99,8 @@ func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
 		return out, nil
 	case EventPoints:
 		var out []Interval
-		byProc := m.usedTimesByProc()
 		for proc := 0; proc < m.Ins.Procs; proc++ {
-			times := byProc[proc]
+			times := m.timesByProc[proc]
 			for i := range times {
 				for j := i; j < len(times); j++ {
 					out = append(out, Interval{Proc: proc, Start: times[i], End: times[j] + 1})
@@ -82,9 +109,14 @@ func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
 		}
 		return out, nil
 	case AllPairs:
+		const maxAllPairs = 4_000_000
 		h := m.Ins.Horizon
-		if p := m.Ins.Procs; p*h*h > 4_000_000 {
-			return nil, fmt.Errorf("sched: AllPairs would enumerate ~%d intervals; use EventPoints", p*h*h/2)
+		// Guard p·h² > maxAllPairs by division: the product itself can
+		// overflow int on adversarial horizons. h > 2000 alone already
+		// exceeds the cap (Procs ≥ 1), and h ≤ 2000 keeps h² safe.
+		if p := m.Ins.Procs; h > 2000 || p > maxAllPairs/(h*h) {
+			return nil, fmt.Errorf("sched: AllPairs would enumerate ~%.3g intervals; use EventPoints",
+				float64(p)*float64(h)*float64(h)/2)
 		}
 		var out []Interval
 		for proc := 0; proc < m.Ins.Procs; proc++ {
@@ -100,37 +132,21 @@ func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
 	}
 }
 
-// usedTimesByProc returns, per processor index, the sorted distinct slot
-// times used by at least one job.
-func (m *Model) usedTimesByProc() [][]int {
-	sets := make([]map[int]bool, m.Ins.Procs)
-	for _, s := range m.Slots {
-		if sets[s.Proc] == nil {
-			sets[s.Proc] = map[int]bool{}
-		}
-		sets[s.Proc][s.Time] = true
-	}
-	out := make([][]int, m.Ins.Procs)
-	for proc, set := range sets {
-		times := make([]int, 0, len(set))
-		for t := range set {
-			times = append(times, t)
-		}
-		sort.Ints(times)
-		out[proc] = times
-	}
-	return out
-}
-
-// IntervalItems returns the X indices of usable slots inside iv.
+// IntervalItems returns the X indices of usable slots inside iv, in
+// increasing time order. A binary search plus a linear walk over the
+// processor's sorted slots replaces the per-time map lookups the candidate
+// loops used to pay for.
 func (m *Model) IntervalItems(iv Interval) []int {
-	var items []int
-	for t := iv.Start; t < iv.End; t++ {
-		if idx, ok := m.SlotIndex[SlotKey{Proc: iv.Proc, Time: t}]; ok {
-			items = append(items, idx)
-		}
+	times := m.timesByProc[iv.Proc]
+	lo := sort.SearchInts(times, iv.Start)
+	hi := lo
+	for hi < len(times) && times[hi] < iv.End {
+		hi++
 	}
-	return items
+	if lo == hi {
+		return nil
+	}
+	return append([]int(nil), m.slotsByProc[iv.Proc][lo:hi]...)
 }
 
 // candidate pairs an interval with its precomputed cost and slot items.
@@ -174,14 +190,14 @@ func (m *Model) buildCandidates(policy CandidatePolicy, extra []Interval) ([]can
 }
 
 // budgetSubsets converts candidates to budget.Subset values over the slot
-// universe.
+// universe. Labels are left empty: nothing reads them, and rendering one
+// Sprintf per candidate showed up in greedy profiles.
 func budgetSubsets(n int, cands []candidate) []budget.Subset {
 	subs := make([]budget.Subset, len(cands))
 	for i, c := range cands {
 		subs[i] = budget.Subset{
 			Items: bitset.FromSlice(n, c.items),
 			Cost:  c.cost,
-			Label: c.iv.String(),
 		}
 	}
 	return subs
@@ -196,9 +212,42 @@ func (f matchFn) Universe() int { return len(f.m.Slots) }
 
 // Eval implements submodular.Function via a fresh Hopcroft–Karp run.
 func (f matchFn) Eval(s *bitset.Set) float64 {
-	size, _, _ := bipartite.MaxMatching(f.m.G, s)
-	return float64(size)
+	return float64(bipartite.MaxMatchingSize(f.m.G, s))
 }
+
+// NewIncremental implements submodular.IncrementalProvider: the budgeted
+// greedy probes F(S ∪ Sᵢ) through a persistent bipartite.Matcher
+// (snapshot + augment) instead of a fresh Hopcroft–Karp run per call.
+func (f matchFn) NewIncremental() submodular.Incremental {
+	return &matchOracle{fn: f, mat: bipartite.NewMatcher(f.m.G)}
+}
+
+// matchOracle adapts bipartite.Matcher to submodular.Incremental.
+type matchOracle struct {
+	fn  matchFn
+	mat *bipartite.Matcher
+}
+
+// Universe implements submodular.Function.
+func (o *matchOracle) Universe() int { return o.fn.Universe() }
+
+// Eval implements submodular.Function via the stateless oracle.
+func (o *matchOracle) Eval(s *bitset.Set) float64 { return o.fn.Eval(s) }
+
+// Base implements submodular.Incremental.
+func (o *matchOracle) Base() *bitset.Set { return o.mat.Enabled() }
+
+// Value implements submodular.Incremental.
+func (o *matchOracle) Value() float64 { return float64(o.mat.Size()) }
+
+// Gain implements submodular.Incremental.
+func (o *matchOracle) Gain(items []int) float64 { return float64(o.mat.GainOfSet(items)) }
+
+// Commit implements submodular.Incremental.
+func (o *matchOracle) Commit(items []int) float64 { return float64(o.mat.EnableSet(items)) }
+
+// Reset implements submodular.Incremental.
+func (o *matchOracle) Reset() { o.mat = bipartite.NewMatcher(o.fn.m.G) }
 
 // weightedMatchFn is Lemma 2.3.2's utility: F(S) = maximum total job value
 // of a matching saturating only slot-vertices in S. Monotone submodular.
@@ -213,10 +262,48 @@ func (f weightedMatchFn) Eval(s *bitset.Set) float64 {
 	return v
 }
 
+// NewIncremental implements submodular.IncrementalProvider via the
+// incremental weighted matcher, replacing WeightedValue's per-call match
+// array allocations and full re-augmentation.
+func (f weightedMatchFn) NewIncremental() submodular.Incremental {
+	return &weightedOracle{fn: f, mat: bipartite.NewWeightedMatcher(f.m.G, f.m.Values, f.m.Order)}
+}
+
+// weightedOracle adapts bipartite.WeightedMatcher to submodular.Incremental.
+type weightedOracle struct {
+	fn  weightedMatchFn
+	mat *bipartite.WeightedMatcher
+}
+
+// Universe implements submodular.Function.
+func (o *weightedOracle) Universe() int { return o.fn.Universe() }
+
+// Eval implements submodular.Function via the stateless oracle.
+func (o *weightedOracle) Eval(s *bitset.Set) float64 { return o.fn.Eval(s) }
+
+// Base implements submodular.Incremental.
+func (o *weightedOracle) Base() *bitset.Set { return o.mat.Enabled() }
+
+// Value implements submodular.Incremental.
+func (o *weightedOracle) Value() float64 { return o.mat.Value() }
+
+// Gain implements submodular.Incremental.
+func (o *weightedOracle) Gain(items []int) float64 { return o.mat.GainOfSet(items) }
+
+// Commit implements submodular.Incremental.
+func (o *weightedOracle) Commit(items []int) float64 { return o.mat.EnableSet(items) }
+
+// Reset implements submodular.Incremental.
+func (o *weightedOracle) Reset() {
+	o.mat = bipartite.NewWeightedMatcher(o.fn.m.G, o.fn.m.Values, o.fn.m.Order)
+}
+
 // Functions exposed for property tests.
 var (
-	_ submodular.Function = matchFn{}
-	_ submodular.Function = weightedMatchFn{}
+	_ submodular.Function            = matchFn{}
+	_ submodular.Function            = weightedMatchFn{}
+	_ submodular.IncrementalProvider = matchFn{}
+	_ submodular.IncrementalProvider = weightedMatchFn{}
 )
 
 // MatchingUtility returns Lemma 2.2.2's F for external property tests.

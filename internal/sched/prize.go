@@ -53,7 +53,7 @@ func prizeCollecting(model *Model, z float64, opts Options) (*Schedule, error) {
 	if opts.Lazy {
 		run = budget.LazyGreedy
 	}
-	res, err := run(prob, budget.Options{Eps: eps, Parallel: opts.Parallel})
+	res, err := run(prob, budget.Options{Eps: eps, Parallel: opts.Parallel, PlainEval: opts.PlainOracle})
 	if err != nil {
 		return nil, fmt.Errorf("sched: greedy failed: %w", err)
 	}
@@ -104,36 +104,32 @@ func PrizeCollectingExact(ins *Instance, z float64, opts Options) (*Schedule, er
 	for _, iv := range sched.Intervals {
 		awake[iv] = true
 	}
-	enabled := enabledSet(model, nil)
+	// The incremental weighted matcher keeps the matching alive across the
+	// whole loop: each candidate probe is a snapshot GainOfSet instead of a
+	// from-scratch WeightedValue rebuild.
+	wm := bipartite.NewWeightedMatcher(model.G, model.Values, model.Order)
 	for _, iv := range sched.Intervals {
-		for _, x := range model.IntervalItems(iv) {
-			enabled.Add(x)
-		}
+		wm.EnableSet(model.IntervalItems(iv))
 	}
-	value, _, _ := bipartite.WeightedValue(model.G, model.Values, model.Order, enabled)
-	for value < z {
+	for wm.Value() < z {
 		bestIdx, bestCost := -1, math.Inf(1)
 		for i, c := range cands {
 			if awake[c.iv] || c.cost >= bestCost {
 				continue
 			}
-			gain := bipartite.WeightedGain(model.G, model.Values, model.Order, enabled, c.items, value)
-			if gain > 1e-12 {
+			if wm.GainOfSet(c.items) > 1e-12 {
 				bestIdx, bestCost = i, c.cost
 			}
 		}
 		if bestIdx == -1 {
 			return nil, fmt.Errorf("%w: augmentation found no value-increasing interval at value %g of %g",
-				ErrValueUnreachable, value, z)
+				ErrValueUnreachable, wm.Value(), z)
 		}
 		awake[cands[bestIdx].iv] = true
-		for _, x := range cands[bestIdx].items {
-			enabled.Add(x)
-		}
-		value, _, _ = bipartite.WeightedValue(model.G, model.Values, model.Order, enabled)
+		wm.EnableSet(cands[bestIdx].items)
 		sched.Intervals = append(sched.Intervals, cands[bestIdx].iv)
 	}
-	out := extractWeighted(model, enabled.Elements(), sched.Intervals)
+	out := extractWeighted(model, wm.Enabled().Elements(), sched.Intervals)
 	out.Evals = sched.Evals
 	return out, nil
 }

@@ -118,8 +118,15 @@ type Options struct {
 	Policy   CandidatePolicy
 	Eps      float64 // bicriteria slack for PrizeCollecting; ScheduleAll defaults to 1/(n+1)
 	Lazy     bool    // lazy-evaluation greedy
-	Parallel bool    // parallel candidate scans (plain greedy only)
-	Fast     bool    // specialized incremental-matcher greedy (ScheduleAll only)
+	Parallel bool    // parallel candidate scans (plain greedy only; forces from-scratch oracles)
+	// PlainOracle forces from-scratch matching oracles (a fresh
+	// Hopcroft–Karp / weighted rebuild per probe) instead of the default
+	// incremental matchers — the ablation A3 baseline.
+	PlainOracle bool
+	// Fast is deprecated: the incremental-matcher oracle it used to select
+	// is now the default for every greedy variant. The field is retained
+	// for compatibility and ignored.
+	Fast bool
 	// Extra adds caller-supplied candidate awake intervals on top of the
 	// policy's enumeration — the thesis's "costs might be explicitly given
 	// in the input" mode, e.g. contract blocks a power provider offers.

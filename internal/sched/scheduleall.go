@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/bipartite"
 	"repro/internal/bitset"
@@ -30,17 +29,13 @@ func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
 	// finite-cost candidate interval contains it, so unavailability
 	// (infinite-cost intervals) correctly shrinks the witness.
 	coverable := coverableSlots(model, cands)
-	if full, _, _ := bipartite.MaxMatching(model.G, coverable); full < n {
+	if full := bipartite.MaxMatchingSize(model.G, coverable); full < n {
 		jobs, slotIdx := bipartite.HallWitness(model.G, coverable)
 		witness := &UnschedulableError{Matched: full, Jobs: jobs}
 		for _, x := range slotIdx {
 			witness.Slots = append(witness.Slots, model.Slots[x])
 		}
 		return nil, witness
-	}
-
-	if opts.Fast {
-		return scheduleAllFast(model, cands, n)
 	}
 
 	eps := opts.Eps
@@ -57,7 +52,7 @@ func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
 	if opts.Lazy {
 		run = budget.LazyGreedy
 	}
-	res, err := run(prob, budget.Options{Eps: eps, Parallel: opts.Parallel})
+	res, err := run(prob, budget.Options{Eps: eps, Parallel: opts.Parallel, PlainEval: opts.PlainOracle})
 	if err != nil {
 		return nil, fmt.Errorf("sched: greedy failed: %w", err)
 	}
@@ -69,61 +64,6 @@ func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
 		return nil, fmt.Errorf("%w: greedy stopped at %d of %d", ErrUnschedulable, sched.Scheduled, n)
 	}
 	return sched, nil
-}
-
-// scheduleAllFast is the specialized greedy: identical pick sequence to
-// the budget.Greedy path (same ratios, same ties), but marginal gains come
-// from the incremental matcher's snapshot probes instead of fresh
-// Hopcroft–Karp runs. Ablation A3 measures the difference.
-func scheduleAllFast(model *Model, cands []candidate, n int) (*Schedule, error) {
-	m := bipartite.NewMatcher(model.G)
-	picked := make([]bool, len(cands))
-	var chosen []Interval
-	cost := 0.0
-	var evals int64
-	for m.Size() < n {
-		best, bestRatio := -1, math.Inf(-1)
-		for i := range cands {
-			if picked[i] {
-				continue
-			}
-			evals++
-			gain := m.GainOfSet(cands[i].items)
-			if gain == 0 {
-				continue
-			}
-			ratio := math.Inf(1)
-			if cands[i].cost > 1e-12 {
-				ratio = float64(gain) / cands[i].cost
-			}
-			if ratio > bestRatio {
-				best, bestRatio = i, ratio
-			}
-		}
-		if best == -1 {
-			return nil, fmt.Errorf("%w: no candidate interval adds a job", ErrUnschedulable)
-		}
-		picked[best] = true
-		m.EnableSet(cands[best].items)
-		chosen = append(chosen, cands[best].iv)
-		cost += cands[best].cost
-	}
-	assignment := make([]SlotKey, len(model.Ins.Jobs))
-	value := 0.0
-	scheduled := 0
-	for j := range assignment {
-		if x := m.MatchOfY(j); x >= 0 {
-			assignment[j] = model.Slots[x]
-			value += model.Values[j]
-			scheduled++
-		} else {
-			assignment[j] = Unassigned
-		}
-	}
-	return &Schedule{
-		Intervals: chosen, Assignment: assignment,
-		Cost: cost, Value: value, Scheduled: scheduled, Evals: evals,
-	}, nil
 }
 
 // chosenIntervals maps picked candidate indices back to intervals.

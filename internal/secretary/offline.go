@@ -24,6 +24,9 @@ func OfflineGreedyMatroid(f submodular.Function, constraints matroid.Intersectio
 }
 
 func offlineGreedy(f submodular.Function, k int, feasible feasibleFunc) *bitset.Set {
+	if inc, ok := submodular.AsIncremental(f); ok {
+		return offlineGreedyIncremental(inc, k, feasible)
+	}
 	n := f.Universe()
 	sel := bitset.New(n)
 	fSel := f.Eval(sel)
@@ -45,6 +48,36 @@ func offlineGreedy(f submodular.Function, k int, feasible feasibleFunc) *bitset.
 		}
 		sel.Add(best)
 		fSel = bestVal
+	}
+	return sel
+}
+
+// offlineGreedyIncremental is offlineGreedy on an incremental oracle:
+// identical picks, but each marginal is a stateful Gain probe instead of
+// an Eval of the grown set from scratch. The selection is mirrored in a
+// caller-owned set because feasibility gates (matroid.CanAdd) mutate the
+// set they are handed, which the oracle's Base() forbids.
+func offlineGreedyIncremental(inc submodular.Incremental, k int, feasible feasibleFunc) *bitset.Set {
+	n := inc.Universe()
+	sel := bitset.New(n)
+	probe := [1]int{}
+	for picks := 0; picks < k; picks++ {
+		best, bestGain := -1, 0.0
+		for item := 0; item < n; item++ {
+			if sel.Contains(item) || !feasible(sel, item) {
+				continue
+			}
+			probe[0] = item
+			if gain := inc.Gain(probe[:]); gain > bestGain {
+				best, bestGain = item, gain
+			}
+		}
+		if best == -1 {
+			break
+		}
+		probe[0] = best
+		inc.Commit(probe[:])
+		sel.Add(best)
 	}
 	return sel
 }

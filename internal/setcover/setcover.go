@@ -17,6 +17,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/power"
 	"repro/internal/sched"
+	"repro/internal/submodular"
 )
 
 // Instance is a weighted Set Cover instance over elements {0,...,N-1}.
@@ -48,21 +49,27 @@ var ErrUncoverable = errors.New("setcover: universe not coverable")
 // Greedy runs the classical cost-effectiveness greedy: repeatedly pick the
 // set minimizing cost per newly covered element. Returns chosen indices and
 // total cost; the cost is within H_n ≈ ln n of optimal.
+//
+// Probes go through the incremental coverage oracle: each "how many new
+// elements?" question costs one word-wise diff against the committed
+// coverage instead of a union rebuild.
 func Greedy(ins *Instance) ([]int, float64, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, 0, err
 	}
-	covered := bitset.New(ins.N)
+	inc := submodular.NewCoverage(ins.N, ins.Sets, nil).NewIncremental()
 	var chosen []int
 	cost := 0.0
-	for covered.Count() < ins.N {
+	probe := [1]int{}
+	for inc.Value() < float64(ins.N) {
 		best, bestRatio := -1, 0.0
-		for i, s := range ins.Sets {
-			newCov := s.UnionCount(covered) - covered.Count()
+		for i := range ins.Sets {
+			probe[0] = i
+			newCov := inc.Gain(probe[:])
 			if newCov == 0 {
 				continue
 			}
-			ratio := float64(newCov) / (ins.Costs[i] + 1e-12)
+			ratio := newCov / (ins.Costs[i] + 1e-12)
 			if ratio > bestRatio {
 				best, bestRatio = i, ratio
 			}
@@ -70,7 +77,8 @@ func Greedy(ins *Instance) ([]int, float64, error) {
 		if best == -1 {
 			return nil, 0, ErrUncoverable
 		}
-		covered.UnionWith(ins.Sets[best])
+		probe[0] = best
+		inc.Commit(probe[:])
 		chosen = append(chosen, best)
 		cost += ins.Costs[best]
 	}

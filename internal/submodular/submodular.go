@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitset"
@@ -52,9 +53,13 @@ func (c *Counting) Universe() int { return c.F.Universe() }
 
 // Eval implements Function, incrementing the call counter.
 func (c *Counting) Eval(s *bitset.Set) float64 {
-	atomic.AddInt64(&c.calls, 1)
+	c.count()
 	return c.F.Eval(s)
 }
+
+// count charges one oracle call; incremental Gain probes are billed here
+// too (see AsIncremental).
+func (c *Counting) count() { atomic.AddInt64(&c.calls, 1) }
 
 // Calls returns the number of Eval calls so far.
 func (c *Counting) Calls() int64 { return atomic.LoadInt64(&c.calls) }
@@ -71,6 +76,7 @@ type Coverage struct {
 	Sets    []*bitset.Set // Sets[i] ⊆ {0,...,m-1}
 	Weights []float64     // element weights; nil means unit weights
 	m       int
+	pool    sync.Pool // ground-universe union scratch for Eval
 }
 
 // NewCoverage builds a coverage function. All sets must share the ground
@@ -93,21 +99,30 @@ func (c *Coverage) Universe() int { return len(c.Sets) }
 // Ground returns the ground-set size m.
 func (c *Coverage) Ground() int { return c.m }
 
-// Eval implements Function.
+// Eval implements Function. The union scratch is pooled: greedy probe
+// loops call Eval once per candidate, and a fresh ground-set allocation
+// per call dominated the plain-oracle ablation profiles.
 func (c *Coverage) Eval(s *bitset.Set) float64 {
-	union := bitset.New(c.m)
+	union, _ := c.pool.Get().(*bitset.Set)
+	if union == nil {
+		union = bitset.New(c.m)
+	} else {
+		union.Clear()
+	}
 	s.ForEach(func(i int) bool {
 		union.UnionWith(c.Sets[i])
 		return true
 	})
-	if c.Weights == nil {
-		return float64(union.Count())
-	}
 	total := 0.0
-	union.ForEach(func(e int) bool {
-		total += c.Weights[e]
-		return true
-	})
+	if c.Weights == nil {
+		total = float64(union.Count())
+	} else {
+		union.ForEach(func(e int) bool {
+			total += c.Weights[e]
+			return true
+		})
+	}
+	c.pool.Put(union)
 	return total
 }
 

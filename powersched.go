@@ -145,6 +145,23 @@ type (
 // NewSet returns an empty set over {0..n-1}.
 func NewSet(n int) *Set { return bitset.New(n) }
 
+// Incremental is the stateful value-oracle interface behind the greedy
+// fast paths: probes answer F(S ∪ items) − F(S) against a committed base
+// set without recomputing F from scratch.
+type Incremental = submodular.Incremental
+
+// IncrementalProvider is implemented by functions that can manufacture an
+// incremental oracle for themselves (Coverage, FacilityLocation, Modular,
+// the matching utilities, ...).
+type IncrementalProvider = submodular.IncrementalProvider
+
+// AsIncremental returns a fresh incremental oracle for f, or (nil, false)
+// if f offers none. The budgeted greedy calls this internally; it is
+// exported for custom algorithms that want the same fast path.
+func AsIncremental(f SubmodularFunction) (Incremental, bool) {
+	return submodular.AsIncremental(f)
+}
+
 // BudgetedGreedy runs Lemma 2.1.2's algorithm: utility ≥ (1−ε)·Threshold
 // at cost within O(log 1/ε) of any collection reaching Threshold.
 func BudgetedGreedy(p BudgetProblem, opts BudgetOptions) (*BudgetResult, error) {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Captures the top-level benchmark suite (one benchmark per experiment,
+# E1-E15 / A1-A4) as a compact JSON snapshot so future PRs can track the
+# perf trajectory. Usage: scripts/bench_snapshot.sh [out.json] [benchtime]
+set -eu
+out="${1:-BENCH_baseline.json}"
+benchtime="${2:-3x}"
+go test -run '^$' -bench . -benchtime "$benchtime" . | tee /dev/stderr | awk -v benchtime="$benchtime" '
+BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime; sep="" }
+/^Benchmark/ {
+    name = $1; ns = 0; bytes = 0; allocs = 0
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i-1)
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, bytes, allocs
+    sep = ","
+}
+END { printf "\n  ]\n}\n" }
+' > "$out"
+echo "wrote $out"
