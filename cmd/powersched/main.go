@@ -1,162 +1,128 @@
-// Command powersched solves a power-scheduling instance given as JSON on
-// stdin (or a file argument) and writes the schedule as JSON to stdout.
+// Command powersched solves power-scheduling instances given as JSON and
+// serves them over HTTP.
 //
-// Instance schema:
+//	powersched [solve] [file]   solve one instance (stdin or file) to stdout
+//	powersched serve [flags]    long-lived JSON-over-HTTP scheduling service
+//
+// Instance schema (shared by solve, /v1/schedule, and /v1/batch entries):
 //
 //	{
 //	  "procs": 2, "horizon": 24,
 //	  "cost": {"model": "affine", "alpha": 2, "rate": 1},
 //	  "jobs": [{"value": 1, "allowed": [{"proc": 0, "time": 3}, ...]}, ...],
 //	  "mode": "all" | "prize" | "prize-exact",
-//	  "z": 10.0, "eps": 0.1
+//	  "z": 10.0, "eps": 0.1, "improve": false
 //	}
 //
 // Cost models: "affine" {alpha, rate}; "perproc" {alphas, rates};
-// "timeofuse" {alphas, rates, price}; "superlinear" {alpha, rate, fan, exp}.
+// "timeofuse" {alphas, rates, price}; "superlinear" {alpha, rate, fan,
+// exp}; "unavailable" {base: <model>, blocked: [{proc, time}, ...]}.
+//
+// Serve flags: -addr (default :8080), -workers, -queue, -cache. The
+// server drains gracefully on SIGINT/SIGTERM: in-flight and queued
+// requests are answered, new ones are refused with 503.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	powersched "repro"
-	"repro/internal/power"
+	"repro/internal/service"
 )
 
-type costSpec struct {
-	Model  string    `json:"model"`
-	Alpha  float64   `json:"alpha"`
-	Rate   float64   `json:"rate"`
-	Fan    float64   `json:"fan"`
-	Exp    float64   `json:"exp"`
-	Alphas []float64 `json:"alphas"`
-	Rates  []float64 `json:"rates"`
-	Price  []float64 `json:"price"`
-}
-
-type slotSpec struct {
-	Proc int `json:"proc"`
-	Time int `json:"time"`
-}
-
-type jobSpec struct {
-	Value   float64    `json:"value"`
-	Allowed []slotSpec `json:"allowed"`
-}
-
-type instanceSpec struct {
-	Procs   int       `json:"procs"`
-	Horizon int       `json:"horizon"`
-	Cost    costSpec  `json:"cost"`
-	Jobs    []jobSpec `json:"jobs"`
-	Mode    string    `json:"mode"`
-	Z       float64   `json:"z"`
-	Eps     float64   `json:"eps"`
-}
-
-type scheduleOut struct {
-	Intervals []intervalOut `json:"intervals"`
-	Jobs      []jobOut      `json:"jobs"`
-	Cost      float64       `json:"cost"`
-	Value     float64       `json:"value"`
-	Scheduled int           `json:"scheduled"`
-}
-
-type intervalOut struct {
-	Proc  int `json:"proc"`
-	Start int `json:"start"`
-	End   int `json:"end"`
-}
-
-type jobOut struct {
-	Job       int  `json:"job"`
-	Scheduled bool `json:"scheduled"`
-	Proc      int  `json:"proc,omitempty"`
-	Time      int  `json:"time,omitempty"`
-}
-
-func buildCost(spec costSpec) (powersched.CostModel, error) {
-	switch spec.Model {
-	case "affine", "":
-		return powersched.Affine{Alpha: spec.Alpha, Rate: spec.Rate}, nil
-	case "perproc":
-		return power.NewPerProcessor(spec.Alphas, spec.Rates), nil
-	case "timeofuse":
-		return powersched.NewTimeOfUse(spec.Alphas, spec.Rates, spec.Price), nil
-	case "superlinear":
-		return powersched.Superlinear{Alpha: spec.Alpha, Rate: spec.Rate, Fan: spec.Fan, Exp: spec.Exp}, nil
-	default:
-		return nil, fmt.Errorf("unknown cost model %q", spec.Model)
-	}
-}
-
 func run(in io.Reader, out io.Writer) error {
-	var spec instanceSpec
-	if err := json.NewDecoder(in).Decode(&spec); err != nil {
-		return fmt.Errorf("decoding instance: %w", err)
-	}
-	cost, err := buildCost(spec.Cost)
+	data, err := io.ReadAll(in)
 	if err != nil {
 		return err
 	}
-	ins := &powersched.Instance{
-		Procs: spec.Procs, Horizon: spec.Horizon, Cost: cost,
-	}
-	for _, j := range spec.Jobs {
-		job := powersched.Job{Value: j.Value}
-		if job.Value == 0 {
-			job.Value = 1
-		}
-		for _, s := range j.Allowed {
-			job.Allowed = append(job.Allowed, powersched.SlotKey{Proc: s.Proc, Time: s.Time})
-		}
-		ins.Jobs = append(ins.Jobs, job)
-	}
-	opts := powersched.Options{Eps: spec.Eps}
-	var s *powersched.Schedule
-	switch spec.Mode {
-	case "all", "":
-		s, err = powersched.ScheduleAll(ins, opts)
-	case "prize":
-		s, err = powersched.PrizeCollecting(ins, spec.Z, opts)
-	case "prize-exact":
-		s, err = powersched.PrizeCollectingExact(ins, spec.Z, opts)
-	default:
-		return fmt.Errorf("unknown mode %q", spec.Mode)
-	}
+	req, err := service.DecodeRequest(data)
 	if err != nil {
 		return err
 	}
-	o := scheduleOut{Cost: s.Cost, Value: s.Value, Scheduled: s.Scheduled}
-	for _, iv := range s.Intervals {
-		o.Intervals = append(o.Intervals, intervalOut{Proc: iv.Proc, Start: iv.Start, End: iv.End})
-	}
-	for j, a := range s.Assignment {
-		jo := jobOut{Job: j, Scheduled: a != powersched.Unassigned}
-		if jo.Scheduled {
-			jo.Proc, jo.Time = a.Proc, a.Time
-		}
-		o.Jobs = append(o.Jobs, jo)
+	s, err := service.Solve(req)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(o)
+	return enc.Encode(service.EncodeSchedule(s))
 }
 
-func main() {
+func solveMain(args []string) error {
 	in := io.Reader(os.Stdin)
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "powersched:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout); err != nil {
+	return run(in, os.Stdout)
+}
+
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "request queue depth (0 = 4×workers); a full queue blocks submitters")
+	cache := fs.Int("cache", 0, "result cache entries (0 = 256, negative disables)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	server := &http.Server{Addr: *addr, Handler: service.NewHTTPHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("powersched: serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		svc.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("powersched: draining (budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := server.Shutdown(drainCtx)
+	if cerr := svc.Close(drainCtx); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("drain budget exceeded; abandoning queued requests")
+	}
+	return err
+}
+
+func main() {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		err = serveMain(args[1:])
+	case len(args) > 0 && args[0] == "solve":
+		err = solveMain(args[1:])
+	default:
+		// Bare invocation stays the classic filter: JSON in, JSON out.
+		err = solveMain(args)
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "powersched:", err)
 		os.Exit(1)
 	}

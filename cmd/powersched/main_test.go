@@ -2,18 +2,23 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
-func solve(t *testing.T, input string) scheduleOut {
+func solve(t *testing.T, input string) service.ScheduleSpec {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := run(strings.NewReader(input), &buf); err != nil {
 		t.Fatal(err)
 	}
-	var out scheduleOut
+	var out service.ScheduleSpec
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatalf("output not valid JSON: %v\n%s", err, buf.String())
 	}
@@ -116,5 +121,77 @@ func TestRunErrors(t *testing.T) {
 		if err := run(strings.NewReader(input), &buf); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestRunUnavailableMask(t *testing.T) {
+	// The CLI speaks the full codec, including the unavailable mask: with
+	// slot 1 blocked, the job must land on slot 0.
+	out := solve(t, `{
+		"procs": 1, "horizon": 3,
+		"cost": {"model": "unavailable",
+		         "base": {"model": "affine", "alpha": 1, "rate": 1},
+		         "blocked": [{"proc": 0, "time": 1}]},
+		"jobs": [{"allowed": [{"proc": 0, "time": 0}, {"proc": 0, "time": 1}]}]
+	}`)
+	if out.Scheduled != 1 || out.Jobs[0].Time != 0 {
+		t.Fatalf("out = %+v, want the job on slot 0", out)
+	}
+}
+
+func TestRunImprovePass(t *testing.T) {
+	out := solve(t, `{
+		"procs": 1, "horizon": 6,
+		"cost": {"model": "affine", "alpha": 2, "rate": 1},
+		"jobs": [
+			{"allowed": [{"proc": 0, "time": 1}, {"proc": 0, "time": 2}]},
+			{"allowed": [{"proc": 0, "time": 2}, {"proc": 0, "time": 3}]}
+		],
+		"improve": true
+	}`)
+	if out.Scheduled != 2 || out.Cost > 4 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+// TestSolveAndServeAgree drives the same instance through the CLI solve
+// path and a served HTTP handler and requires identical schedules.
+func TestSolveAndServeAgree(t *testing.T) {
+	input := `{
+		"procs": 2, "horizon": 8,
+		"cost": {"model": "perproc", "alphas": [1, 5], "rates": [1, 1]},
+		"jobs": [
+			{"value": 3, "allowed": [{"proc": 0, "time": 0}, {"proc": 1, "time": 0}]},
+			{"value": 2, "allowed": [{"proc": 0, "time": 1}]}
+		]
+	}`
+	cli := solve(t, input)
+
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(service.NewHTTPHandler(svc))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/schedule", "application/json", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serve status %d", resp.StatusCode)
+	}
+	var served service.ScheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(cli)
+	b, _ := json.Marshal(served.Schedule)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("solve and serve disagree:\n cli:   %s\n serve: %s", a, b)
+	}
+}
+
+func TestServeMainRejectsBadFlags(t *testing.T) {
+	if err := serveMain([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("accepted unknown flag")
 	}
 }

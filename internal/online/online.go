@@ -91,14 +91,14 @@ func Simulate(p Policy, cost Cost, busySlots []int) float64 {
 			awakeUntil = until
 		}
 	}
-	// Close the final interval at the last busy slot (an optimal online
-	// run never pays for lingering past the final job; charging it would
-	// only penalize the policy for the adversary ending the input).
+	// Close the final interval at the last busy slot: a policy never pays
+	// for lingering past the final job (charging it would only penalize
+	// the policy for the adversary ending the input), so any trailing
+	// linger is clamped away. awakeUntil is already >= lastBusy here — the
+	// final loop iteration extends it to at least slots[last]+1 — so this
+	// clamp-down is the only adjustment needed.
 	lastBusy := slots[len(slots)-1] + 1
 	if awakeUntil > lastBusy {
-		awakeUntil = lastBusy
-	}
-	if awakeUntil < lastBusy {
 		awakeUntil = lastBusy
 	}
 	total += cost.Rate * float64(awakeUntil-intervalStart)
@@ -139,11 +139,14 @@ func CompetitiveRatio(p Policy, cost Cost, busySlots []int) float64 {
 }
 
 // SkiRental returns the 2-competitive timeout policy for the given cost
-// model: linger while the lingering energy is below one wake cost.
+// model: linger while the lingering energy is below one wake cost. The
+// slot threshold is α/rate rounded to the nearest integer — truncation
+// would under-linger by up to a full slot (and turn a float-noise 2.9999…
+// into 2).
 func SkiRental(cost Cost) Timeout {
 	threshold := 0
 	if cost.Rate > 0 {
-		threshold = int(cost.Alpha / cost.Rate)
+		threshold = int(math.Round(cost.Alpha / cost.Rate))
 	}
 	return Timeout{Threshold: threshold, Label: "ski-rental(α/rate)"}
 }

@@ -48,6 +48,58 @@ func TestSimulateNoTrailingLingerCharge(t *testing.T) {
 	}
 }
 
+// TestSimulateFinalIntervalAccounting pins the "never pay past the last
+// job" semantics the final-interval clamp implements: whatever the linger,
+// energy stops accruing at the last busy slot's end, and earlier sleeps
+// are unaffected.
+func TestSimulateFinalIntervalAccounting(t *testing.T) {
+	cost := Cost{Alpha: 5, Rate: 1}
+	cases := []struct {
+		name      string
+		threshold int
+		slots     []int
+		want      float64
+	}{
+		// One job: α plus one busy slot, for every linger length.
+		{"single job, no linger", 0, []int{7}, 5 + 1},
+		{"single job, huge linger clamped", 1000, []int{7}, 5 + 1},
+		// Burst then trailing linger: the linger past slot 5+1 is free.
+		{"burst, trailing linger clamped", 3, []int{3, 4, 5}, 5 + 3},
+		// Mid-run lingers still cost: threshold 2 bridges the gap of 2
+		// idle slots ([2,4)) and pays for them, but not past the end.
+		{"bridged gap paid, tail clamped", 2, []int{0, 1, 4}, 5 + 5},
+		// Unbridged gap: sleep after lingering 2, rewake, tail clamped.
+		{"unbridged gap, tail clamped", 2, []int{0, 8}, 5 + 3 + 5 + 1},
+		// Back-to-back duplicate coverage: linger window already inside
+		// the awake span adds nothing.
+		{"linger inside span", 1, []int{0, 1, 2, 3}, 5 + 4},
+	}
+	for _, tc := range cases {
+		if got := Simulate(Timeout{Threshold: tc.threshold}, cost, tc.slots); got != tc.want {
+			t.Errorf("%s: Simulate = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSkiRentalRoundsThreshold(t *testing.T) {
+	cases := []struct {
+		cost Cost
+		want int
+	}{
+		{Cost{Alpha: 4, Rate: 2}, 2},            // exact division unchanged
+		{Cost{Alpha: 5, Rate: 2}, 3},            // 2.5 rounds up, not down to 2
+		{Cost{Alpha: 2.9, Rate: 1}, 3},          // nearest, not floor
+		{Cost{Alpha: 2.4, Rate: 1}, 2},          // nearest below half stays down
+		{Cost{Alpha: 10, Rate: 0}, 0},           // degenerate rate guards division
+		{Cost{Alpha: 2.9999999999, Rate: 1}, 3}, // float noise no longer truncates
+	}
+	for _, tc := range cases {
+		if got := SkiRental(tc.cost).Threshold; got != tc.want {
+			t.Errorf("SkiRental(%+v).Threshold = %d, want %d", tc.cost, got, tc.want)
+		}
+	}
+}
+
 func TestSimulateEmpty(t *testing.T) {
 	if got := Simulate(Timeout{Threshold: 3}, Cost{Alpha: 1, Rate: 1}, nil); got != 0 {
 		t.Fatalf("empty = %v", got)

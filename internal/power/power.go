@@ -6,16 +6,27 @@
 // dependence on interval length. CostModel is the oracle the scheduling
 // algorithms consume; each model here realizes one of those
 // generalizations. Costs of +Inf mark processor unavailability.
+//
+// Contract: every CostModel in this package is safe for concurrent use
+// once fully constructed, and returns +Inf — never panics — for intervals
+// it cannot price (out-of-range processors, slots beyond a priced horizon,
+// blocked slots). The scheduling algorithms and the serving layer rely on
+// both halves of that contract: +Inf prunes a candidate interval, and a
+// panic would take down a whole serving process. Unavailable is the one
+// model with post-construction mutators (Block); call Freeze before
+// sharing it across goroutines.
 package power
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // CostModel prices keeping processor proc awake for the slot interval
 // [start, end). Implementations must be safe for concurrent use and must
-// return +Inf (not panic) for unavailable intervals.
+// return +Inf (not panic) for unavailable intervals — including processor
+// indices outside the model's configured range.
 type CostModel interface {
 	Cost(proc, start, end int) float64
 }
@@ -55,8 +66,12 @@ func NewPerProcessor(alpha, rate []float64) PerProcessor {
 	return PerProcessor{Alpha: alpha, Rate: rate}
 }
 
-// Cost implements CostModel.
+// Cost implements CostModel. Processors outside the configured range are
+// unavailable: they cost +Inf rather than panicking.
 func (m PerProcessor) Cost(proc, start, end int) float64 {
+	if proc < 0 || proc >= len(m.Alpha) || proc >= len(m.Rate) {
+		return math.Inf(1)
+	}
 	return m.Alpha[proc] + m.Rate[proc]*float64(end-start)
 }
 
@@ -84,8 +99,12 @@ func NewTimeOfUse(alpha, rate, price []float64) *TimeOfUse {
 // Horizon returns the number of priced slots.
 func (m *TimeOfUse) Horizon() int { return len(m.prefix) - 1 }
 
-// Cost implements CostModel.
+// Cost implements CostModel. Out-of-range processors and intervals beyond
+// the priced horizon are unavailable: they cost +Inf rather than panicking.
 func (m *TimeOfUse) Cost(proc, start, end int) float64 {
+	if proc < 0 || proc >= len(m.Alpha) || proc >= len(m.Rate) {
+		return math.Inf(1)
+	}
 	if start < 0 || end > m.Horizon() || start > end {
 		return math.Inf(1)
 	}
@@ -110,10 +129,17 @@ func (s Superlinear) Cost(proc, start, end int) float64 {
 // Unavailable wraps a base model and marks (processor, slot) pairs as
 // unusable: any interval overlapping a blocked slot costs +Inf (§1's
 // "represent by setting the cost of the processor to be infinity").
+//
+// Unavailable is built in two phases: a mutable setup phase (Block calls)
+// followed by a frozen serving phase. Call Freeze once setup is done;
+// from then on the mask is immutable, Cost is safe for concurrent use,
+// and a late Block is a programming error that panics immediately instead
+// of racing silently with concurrent Cost readers.
 type Unavailable struct {
 	Base    CostModel
 	blocked map[int][]bool // proc -> slot -> blocked
 	horizon int
+	frozen  atomic.Bool
 }
 
 // NewUnavailable wraps base with an empty block list over the horizon.
@@ -121,12 +147,38 @@ func NewUnavailable(base CostModel, horizon int) *Unavailable {
 	return &Unavailable{Base: base, blocked: map[int][]bool{}, horizon: horizon}
 }
 
-// Block marks slot t on processor proc as unavailable.
+// Block marks slot t on processor proc as unavailable. It must only be
+// called during single-goroutine setup, before Freeze; calling it on a
+// frozen model panics. Slots outside [0, horizon) are rejected the same
+// way: silently ignoring them would hide a miswired mask.
 func (u *Unavailable) Block(proc, t int) {
+	if u.frozen.Load() {
+		panic("power: Unavailable.Block after Freeze — the mask is immutable while serving")
+	}
+	if t < 0 || t >= u.horizon {
+		panic(fmt.Sprintf("power: Unavailable.Block slot %d outside horizon %d", t, u.horizon))
+	}
 	if _, ok := u.blocked[proc]; !ok {
 		u.blocked[proc] = make([]bool, u.horizon)
 	}
 	u.blocked[proc][t] = true
+}
+
+// Freeze ends the setup phase: subsequent Block calls panic, and the
+// model becomes safe for concurrent Cost reads. Freeze is idempotent and
+// returns the receiver for chaining.
+func (u *Unavailable) Freeze() *Unavailable {
+	u.frozen.Store(true)
+	return u
+}
+
+// Frozen reports whether Freeze has been called.
+func (u *Unavailable) Frozen() bool { return u.frozen.Load() }
+
+// Blocked reports whether slot t on processor proc is masked out.
+func (u *Unavailable) Blocked(proc, t int) bool {
+	row, ok := u.blocked[proc]
+	return ok && t >= 0 && t < len(row) && row[t]
 }
 
 // Cost implements CostModel.

@@ -2,6 +2,7 @@ package power
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -85,6 +86,106 @@ func TestUnavailable(t *testing.T) {
 	}
 	if got := u.Cost(1, 3, 7); got != 5 {
 		t.Fatalf("other proc = %v, want 5", got)
+	}
+}
+
+// TestCostModelContractNoPanic drives every model with hostile processor
+// indices and interval bounds: the CostModel contract requires +Inf, never
+// a panic, for anything the model cannot price.
+func TestCostModelContractNoPanic(t *testing.T) {
+	frozen := NewUnavailable(NewPerProcessor([]float64{1, 2}, []float64{1, 1}), 8)
+	frozen.Block(0, 3)
+	frozen.Freeze()
+	models := []struct {
+		name  string
+		m     CostModel
+		procs int // configured processor count (0 = proc-agnostic)
+	}{
+		{"affine", Affine{Alpha: 1, Rate: 1}, 0},
+		{"superlinear", Superlinear{Alpha: 1, Rate: 1, Fan: 0.5, Exp: 2}, 0},
+		{"perproc", NewPerProcessor([]float64{1, 2}, []float64{1, 1}), 2},
+		{"timeofuse", NewTimeOfUse([]float64{1, 2}, []float64{1, 1}, []float64{1, 2, 3, 4}), 2},
+		{"unavailable", frozen, 2},
+	}
+	for _, tc := range models {
+		for _, proc := range []int{-1, -1000, 2, 3, 1 << 20} {
+			for _, iv := range [][2]int{{0, 2}, {-3, 2}, {1, 100}, {2, 2}} {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Errorf("%s: Cost(%d, %d, %d) panicked: %v", tc.name, proc, iv[0], iv[1], r)
+						}
+					}()
+					got := tc.m.Cost(proc, iv[0], iv[1])
+					if tc.procs > 0 && (proc < 0 || proc >= tc.procs) && !math.IsInf(got, 1) {
+						t.Errorf("%s: Cost(%d, %d, %d) = %v for out-of-range proc, want +Inf",
+							tc.name, proc, iv[0], iv[1], got)
+					}
+				}()
+			}
+		}
+	}
+}
+
+// TestCostModelConcurrentReads hammers every model from many goroutines;
+// meaningful under -race, where any shared mutation in Cost would trip.
+func TestCostModelConcurrentReads(t *testing.T) {
+	frozen := NewUnavailable(Affine{Alpha: 1, Rate: 1}, 16)
+	frozen.Block(1, 7)
+	frozen.Freeze()
+	models := []CostModel{
+		Affine{Alpha: 2, Rate: 1},
+		Superlinear{Alpha: 1, Rate: 1, Fan: 0.1, Exp: 1.5},
+		NewPerProcessor([]float64{1, 2, 3}, []float64{1, 1, 1}),
+		NewTimeOfUse([]float64{1, 2}, []float64{1, 1}, []float64{1, 2, 3, 4, 5, 6}),
+		frozen,
+	}
+	var wg sync.WaitGroup
+	for _, m := range models {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(m CostModel, g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					m.Cost((g+i)%4-1, i%8, i%8+(g%3))
+				}
+			}(m, g)
+		}
+	}
+	wg.Wait()
+}
+
+func TestUnavailableFreeze(t *testing.T) {
+	u := NewUnavailable(Affine{Alpha: 1, Rate: 1}, 10)
+	u.Block(0, 5)
+	if u.Frozen() {
+		t.Fatal("frozen before Freeze")
+	}
+	if got := u.Freeze(); got != u {
+		t.Fatal("Freeze should return the receiver")
+	}
+	if !u.Frozen() || !u.Blocked(0, 5) || u.Blocked(0, 4) || u.Blocked(9, 5) {
+		t.Fatal("frozen state or Blocked accessor wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Block after Freeze should panic")
+		}
+	}()
+	u.Block(0, 6)
+}
+
+func TestUnavailableBlockOutOfHorizonPanics(t *testing.T) {
+	u := NewUnavailable(Affine{Alpha: 1, Rate: 1}, 4)
+	for _, tt := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Block(0, %d) should panic for horizon 4", tt)
+				}
+			}()
+			u.Block(0, tt)
+		}()
 	}
 }
 

@@ -17,7 +17,13 @@ func PrizeCollecting(ins *Instance, z float64, opts Options) (*Schedule, error) 
 	if err != nil {
 		return nil, err
 	}
-	return prizeCollecting(model, z, opts)
+	return model.PrizeCollecting(z, opts)
+}
+
+// PrizeCollecting runs Theorem 2.3.1's algorithm on the prebuilt model
+// (see Model.ScheduleAll for the reuse contract).
+func (m *Model) PrizeCollecting(z float64, opts Options) (*Schedule, error) {
+	return prizeCollecting(m, z, opts)
 }
 
 func prizeCollecting(model *Model, z float64, opts Options) (*Schedule, error) {
@@ -76,6 +82,13 @@ func PrizeCollectingExact(ins *Instance, z float64, opts Options) (*Schedule, er
 	if err != nil {
 		return nil, err
 	}
+	return model.PrizeCollectingExact(z, opts)
+}
+
+// PrizeCollectingExact runs Theorem 2.3.3's algorithm on the prebuilt
+// model (see Model.ScheduleAll for the reuse contract).
+func (m *Model) PrizeCollectingExact(z float64, opts Options) (*Schedule, error) {
+	model, ins := m, m.Ins
 	n := len(ins.Jobs)
 	vmin, vmax := math.Inf(1), 0.0
 	for _, job := range ins.Jobs {

@@ -17,6 +17,16 @@ func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	return model.ScheduleAll(opts)
+}
+
+// ScheduleAll runs Theorem 2.2.1's algorithm on the prebuilt model. Reusing
+// one Model across calls on the same instance (as the serving layer's
+// workers do for a batch) amortizes graph construction and the
+// per-processor slot indexes; the method itself does not mutate the model,
+// but a Model must not be shared between goroutines running concurrently.
+func (m *Model) ScheduleAll(opts Options) (*Schedule, error) {
+	model, ins := m, m.Ins
 	n := len(ins.Jobs)
 	if n == 0 {
 		return &Schedule{Assignment: []SlotKey{}}, nil

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/sched"
+)
+
+// ScheduleResponse is the /v1/schedule reply (and each /v1/batch entry).
+type ScheduleResponse struct {
+	Schedule *ScheduleSpec `json:"schedule,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	CacheHit bool          `json:"cache_hit"`
+}
+
+// BatchRequest is the /v1/batch body.
+type BatchRequest struct {
+	Requests []InstanceSpec `json:"requests"`
+}
+
+// BatchResponse is the /v1/batch reply, aligned by index with the body.
+type BatchResponse struct {
+	Results []ScheduleResponse `json:"results"`
+}
+
+// MaxRequestBytes bounds request bodies so a hostile client cannot make
+// the decoder buffer unbounded input.
+const MaxRequestBytes = 64 << 20
+
+// NewHTTPHandler binds svc to the JSON-over-HTTP surface:
+//
+//	POST /v1/schedule  one InstanceSpec in, ScheduleResponse out
+//	POST /v1/batch     BatchRequest in, BatchResponse out
+//	GET  /healthz      liveness
+//	GET  /stats        Stats counters
+//
+// Infeasible instances (unschedulable, value unreachable) answer 422 with
+// the error in the body; malformed requests answer 400; a draining
+// service answers 503.
+func NewHTTPHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		var spec InstanceSpec
+		if err := decodeBody(w, r, &spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, ScheduleResponse{Error: err.Error()})
+			return
+		}
+		req, err := BuildRequest(spec)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ScheduleResponse{Error: err.Error()})
+			return
+		}
+		res := svc.Do(r.Context(), req)
+		writeJSON(w, statusFor(res.Err), toResponse(res))
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch BatchRequest
+		if err := decodeBody(w, r, &batch); err != nil {
+			writeJSON(w, http.StatusBadRequest, ScheduleResponse{Error: err.Error()})
+			return
+		}
+		reqs := make([]Request, len(batch.Requests))
+		for i, spec := range batch.Requests {
+			req, err := BuildRequest(spec)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					ScheduleResponse{Error: fmt.Sprintf("request %d: %v", i, err)})
+				return
+			}
+			reqs[i] = req
+		}
+		results := svc.SubmitBatch(r.Context(), reqs)
+		out := BatchResponse{Results: make([]ScheduleResponse, len(results))}
+		for i, res := range results {
+			out.Results[i] = toResponse(res)
+		}
+		// Per-request failures live inside each entry; the envelope is 200.
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func toResponse(res Result) ScheduleResponse {
+	if res.Err != nil {
+		return ScheduleResponse{Error: res.Err.Error(), CacheHit: res.CacheHit}
+	}
+	spec := EncodeSchedule(res.Schedule)
+	return ScheduleResponse{Schedule: &spec, CacheHit: res.CacheHit}
+}
+
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, sched.ErrUnschedulable), errors.Is(err, sched.ErrValueUnreachable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}

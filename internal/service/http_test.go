@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(Config{Workers: 2})
+	srv := httptest.NewServer(NewHTTPHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close(context.Background())
+	})
+	return srv, svc
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+const scheduleBody = `{
+	"procs": 1, "horizon": 6,
+	"cost": {"model": "affine", "alpha": 2, "rate": 1},
+	"jobs": [
+		{"allowed": [{"proc": 0, "time": 1}, {"proc": 0, "time": 2}]},
+		{"allowed": [{"proc": 0, "time": 2}, {"proc": 0, "time": 3}]}
+	]
+}`
+
+func TestHTTPScheduleAndCacheHit(t *testing.T) {
+	srv, _ := newTestServer(t)
+	status, body := postJSON(t, srv.URL+"/v1/schedule", scheduleBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "" || out.Schedule == nil || out.Schedule.Scheduled != 2 || out.Schedule.Cost != 4 {
+		t.Fatalf("response %+v", out)
+	}
+	if out.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	// Identical instance again: served from the digest cache.
+	status, body = postJSON(t, srv.URL+"/v1/schedule", scheduleBody)
+	if status != http.StatusOK {
+		t.Fatalf("repeat status %d", status)
+	}
+	var repeat ScheduleResponse
+	if err := json.Unmarshal(body, &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.CacheHit {
+		t.Fatal("repeat request not served from cache")
+	}
+	if a, _ := json.Marshal(out.Schedule); true {
+		if b, _ := json.Marshal(repeat.Schedule); !bytes.Equal(a, b) {
+			t.Fatalf("cached schedule differs: %s vs %s", a, b)
+		}
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := `{"requests": [` + scheduleBody + `,
+		{"procs":1,"horizon":2,"cost":{"alpha":1,"rate":1},
+		 "jobs":[{"allowed":[{"proc":0,"time":0}]},{"allowed":[{"proc":0,"time":0}]}]}
+	]}`
+	status, raw := postJSON(t, srv.URL+"/v1/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[0].Schedule == nil {
+		t.Fatalf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" || !strings.Contains(out.Results[1].Error, "scheduled") {
+		t.Fatalf("result 1 should be unschedulable: %+v", out.Results[1])
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	srv, svc := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	postJSON(t, srv.URL+"/v1/schedule", scheduleBody)
+	postJSON(t, srv.URL+"/v1/schedule", scheduleBody)
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats over the wire: %+v", st)
+	}
+	if got := svc.Stats(); got != st {
+		t.Fatalf("wire stats %+v != service stats %+v", st, got)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"bad json", "/v1/schedule", `{"procs": `, http.StatusBadRequest},
+		{"bad cost model", "/v1/schedule",
+			`{"procs":1,"horizon":2,"cost":{"model":"quantum"},"jobs":[]}`, http.StatusBadRequest},
+		{"unschedulable", "/v1/schedule",
+			`{"procs":1,"horizon":2,"cost":{},"jobs":[{"allowed":[{"proc":0,"time":0}]},{"allowed":[{"proc":0,"time":0}]}]}`,
+			http.StatusUnprocessableEntity},
+		{"z unreachable", "/v1/schedule",
+			`{"procs":1,"horizon":2,"cost":{},"jobs":[{"allowed":[{"proc":0,"time":0}]}],"mode":"prize","z":99}`,
+			http.StatusUnprocessableEntity},
+		{"batch bad entry", "/v1/batch",
+			`{"requests":[{"procs":1,"horizon":2,"cost":{"model":"quantum"},"jobs":[]}]}`,
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, body := postJSON(t, srv.URL+tc.path, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
+		}
+		var out ScheduleResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Errorf("%s: error response not JSON: %v", tc.name, err)
+		} else if out.Error == "" {
+			t.Errorf("%s: no error string in %s", tc.name, body)
+		}
+	}
+	// Wrong method on a POST route.
+	resp, err := http.Get(srv.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/schedule status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPClosedService(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	srv := httptest.NewServer(NewHTTPHandler(svc))
+	defer srv.Close()
+	svc.Close(context.Background())
+	status, _ := postJSON(t, srv.URL+"/v1/schedule", scheduleBody)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", status)
+	}
+}

@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -33,33 +34,54 @@ type PlantedParams struct {
 
 // PlantedSchedule builds an instance containing a known feasible solution:
 // each processor gets IntervalsPerProc disjoint awake windows, each filled
-// with JobsPerInterval jobs whose windows lie inside it. The returned
-// planted cost (sum of the planted windows' costs) upper-bounds OPT.
-// Values are drawn uniformly from [1, ValueSpread] (1 if spread <= 1).
+// with jobs whose windows lie inside it. The returned planted cost (sum of
+// the planted windows' costs) upper-bounds OPT. Values are drawn uniformly
+// from [1, ValueSpread] (1 if spread <= 1).
+//
+// Windows are confined to disjoint horizon stripes, one per interval. When
+// JobsPerInterval exceeds the stripe width, the window — and the number of
+// jobs planted in it — is clamped to the stripe so that the planted
+// solution stays feasible and the windows stay disjoint; callers wanting
+// the full job count must supply a horizon with
+// Horizon/IntervalsPerProc >= JobsPerInterval. Procs, Horizon,
+// IntervalsPerProc, and JobsPerInterval must all be positive, and
+// IntervalsPerProc must not exceed Horizon; violations panic.
 func PlantedSchedule(rng *rand.Rand, p PlantedParams) (*sched.Instance, float64) {
+	switch {
+	case p.Procs <= 0:
+		panic(fmt.Sprintf("workload: PlantedSchedule Procs = %d, want > 0", p.Procs))
+	case p.Horizon <= 0:
+		panic(fmt.Sprintf("workload: PlantedSchedule Horizon = %d, want > 0", p.Horizon))
+	case p.IntervalsPerProc <= 0:
+		panic(fmt.Sprintf("workload: PlantedSchedule IntervalsPerProc = %d, want > 0", p.IntervalsPerProc))
+	case p.IntervalsPerProc > p.Horizon:
+		panic(fmt.Sprintf("workload: PlantedSchedule IntervalsPerProc = %d exceeds Horizon = %d",
+			p.IntervalsPerProc, p.Horizon))
+	case p.JobsPerInterval <= 0:
+		panic(fmt.Sprintf("workload: PlantedSchedule JobsPerInterval = %d, want > 0", p.JobsPerInterval))
+	case p.ExtraSlotsPerJob < 0:
+		panic(fmt.Sprintf("workload: PlantedSchedule ExtraSlotsPerJob = %d, want >= 0", p.ExtraSlotsPerJob))
+	}
 	if p.Cost == nil {
 		p.Cost = power.Affine{Alpha: 2, Rate: 1}
 	}
 	ins := &sched.Instance{Procs: p.Procs, Horizon: p.Horizon, Cost: p.Cost}
 	planted := 0.0
-	width := p.JobsPerInterval // planted window width = jobs inside it
+	// Disjoint windows: partition the horizon into IntervalsPerProc
+	// stripes and place one window at a random offset in each. The window
+	// width equals the jobs planted inside it, clamped to the stripe so
+	// windows never spill into a neighbouring stripe (or past the horizon).
+	stripe := p.Horizon / p.IntervalsPerProc
+	width := p.JobsPerInterval
+	if width > stripe {
+		width = stripe
+	}
 	for proc := 0; proc < p.Procs; proc++ {
-		// Disjoint windows: partition the horizon into IntervalsPerProc
-		// stripes and place one window at a random offset in each.
-		stripe := p.Horizon / p.IntervalsPerProc
 		for w := 0; w < p.IntervalsPerProc; w++ {
-			maxOff := stripe - width
-			if maxOff < 0 {
-				maxOff = 0
-			}
-			start := w*stripe + rng.Intn(maxOff+1)
+			start := w*stripe + rng.Intn(stripe-width+1)
 			end := start + width
-			if end > p.Horizon {
-				end = p.Horizon
-				start = end - width
-			}
 			planted += p.Cost.Cost(proc, start, end)
-			for j := 0; j < p.JobsPerInterval; j++ {
+			for j := 0; j < width; j++ {
 				job := sched.Job{Value: 1}
 				if p.ValueSpread > 1 {
 					job.Value = 1 + rng.Float64()*(p.ValueSpread-1)

@@ -70,6 +70,114 @@ func TestPlantedValueSpread(t *testing.T) {
 	}
 }
 
+// plantedWindows reconstructs the planted windows (per processor) from a
+// decoy-free instance: each job's Allowed set is exactly its window.
+func plantedWindows(t *testing.T, ins *sched.Instance) map[int][][2]int {
+	t.Helper()
+	byProc := map[int]map[[2]int]int{} // proc -> window -> jobs sharing it
+	for j, job := range ins.Jobs {
+		if len(job.Allowed) == 0 {
+			t.Fatalf("job %d has no allowed slots", j)
+		}
+		proc := job.Allowed[0].Proc
+		lo, hi := job.Allowed[0].Time, job.Allowed[0].Time
+		for _, s := range job.Allowed {
+			if s.Proc != proc {
+				t.Fatalf("job %d spans processors without decoys", j)
+			}
+			if s.Time < lo {
+				lo = s.Time
+			}
+			if s.Time > hi {
+				hi = s.Time
+			}
+		}
+		if hi-lo+1 != len(job.Allowed) {
+			t.Fatalf("job %d window [%d,%d] is not contiguous over %d slots", j, lo, hi, len(job.Allowed))
+		}
+		if byProc[proc] == nil {
+			byProc[proc] = map[[2]int]int{}
+		}
+		byProc[proc][[2]int{lo, hi + 1}]++
+	}
+	out := map[int][][2]int{}
+	for proc, windows := range byProc {
+		for w, jobs := range windows {
+			if jobs > w[1]-w[0] {
+				t.Fatalf("proc %d window [%d,%d) holds %d jobs for %d slots: planted solution infeasible",
+					proc, w[0], w[1], jobs, w[1]-w[0])
+			}
+			out[proc] = append(out[proc], w)
+		}
+	}
+	return out
+}
+
+// TestPlantedWindowsDisjointAndInRange is the regression test for the
+// stripe clamp: with JobsPerInterval far above the stripe width, the old
+// generator emitted overlapping "disjoint" windows and negative starts.
+func TestPlantedWindowsDisjointAndInRange(t *testing.T) {
+	cases := []PlantedParams{
+		{Procs: 2, Horizon: 24, IntervalsPerProc: 2, JobsPerInterval: 3},
+		{Procs: 1, Horizon: 10, IntervalsPerProc: 3, JobsPerInterval: 7},  // width 7 > stripe 3
+		{Procs: 2, Horizon: 6, IntervalsPerProc: 2, JobsPerInterval: 40},  // width >> horizon
+		{Procs: 3, Horizon: 7, IntervalsPerProc: 7, JobsPerInterval: 2},   // stripe 1
+		{Procs: 1, Horizon: 31, IntervalsPerProc: 4, JobsPerInterval: 13}, // uneven stripes
+	}
+	rng := rand.New(rand.NewSource(11))
+	for ci, p := range cases {
+		for trial := 0; trial < 20; trial++ {
+			ins, planted := PlantedSchedule(rng, p)
+			if planted <= 0 {
+				t.Fatalf("case %d: planted cost %v", ci, planted)
+			}
+			for j, job := range ins.Jobs {
+				for _, s := range job.Allowed {
+					if s.Proc < 0 || s.Proc >= p.Procs || s.Time < 0 || s.Time >= p.Horizon {
+						t.Fatalf("case %d: job %d slot %+v outside instance", ci, j, s)
+					}
+				}
+			}
+			for proc, windows := range plantedWindows(t, ins) {
+				for a := 0; a < len(windows); a++ {
+					for b := a + 1; b < len(windows); b++ {
+						if windows[a][0] < windows[b][1] && windows[b][0] < windows[a][1] {
+							t.Fatalf("case %d: proc %d windows %v and %v overlap",
+								ci, proc, windows[a], windows[b])
+						}
+					}
+				}
+			}
+			// The planted solution must actually be feasible end-to-end.
+			if _, err := sched.ScheduleAll(ins, sched.Options{}); err != nil {
+				t.Fatalf("case %d: planted instance unschedulable: %v", ci, err)
+			}
+		}
+	}
+}
+
+func TestPlantedScheduleRejectsBadParams(t *testing.T) {
+	bad := []PlantedParams{
+		{Procs: 0, Horizon: 10, IntervalsPerProc: 1, JobsPerInterval: 1},
+		{Procs: 1, Horizon: 0, IntervalsPerProc: 1, JobsPerInterval: 1},
+		{Procs: 1, Horizon: 10, IntervalsPerProc: 0, JobsPerInterval: 1}, // old div-by-zero
+		{Procs: 1, Horizon: 10, IntervalsPerProc: -2, JobsPerInterval: 1},
+		{Procs: 1, Horizon: 10, IntervalsPerProc: 11, JobsPerInterval: 1}, // stripe 0
+		{Procs: 1, Horizon: 10, IntervalsPerProc: 1, JobsPerInterval: 0},
+		{Procs: 1, Horizon: 10, IntervalsPerProc: 1, JobsPerInterval: 1, ExtraSlotsPerJob: -1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d (%+v): expected panic", i, p)
+				}
+			}()
+			PlantedSchedule(rand.New(rand.NewSource(1)), p)
+		}()
+	}
+}
+
 func TestMarketTracePositiveAndPeaked(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	price := MarketTrace(rng, 48)

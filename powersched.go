@@ -21,6 +21,7 @@ package powersched
 
 import (
 	"math/rand"
+	"net/http"
 
 	"repro/internal/bitset"
 	"repro/internal/budget"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/secretary"
+	"repro/internal/service"
 	"repro/internal/submodular"
 )
 
@@ -93,6 +95,62 @@ func PrizeCollectingExact(ins *Instance, z float64, opts Options) (*Schedule, er
 func Improve(ins *Instance, s *Schedule) *Schedule {
 	return sched.Improve(ins, s)
 }
+
+// ---- Serving layer ----
+
+// Re-exported serving types; see the service package for full semantics.
+type (
+	// Service is the concurrent batch scheduler: a bounded worker pool
+	// with a backpressured request queue and an instance-digest result
+	// cache. Create with NewService; feed with Submit/SubmitBatch; stop
+	// with Close (graceful drain).
+	Service = service.Service
+	// ServiceConfig tunes workers, queue depth, and cache sizes.
+	ServiceConfig = service.Config
+	// ServiceRequest is one unit of work: an instance plus algorithm
+	// selection (ScheduleMode), threshold, options, and Improve flag.
+	ServiceRequest = service.Request
+	// ServiceResult is one request's outcome, with cache visibility.
+	ServiceResult = service.Result
+	// ServiceStats snapshots the service counters.
+	ServiceStats = service.Stats
+	// ScheduleMode selects the algorithm a request runs.
+	ScheduleMode = service.Mode
+	// InstanceSpec is the JSON wire form of a request (shared between
+	// the CLI, the HTTP server, and programmatic clients).
+	InstanceSpec = service.InstanceSpec
+)
+
+// Algorithm selectors for ServiceRequest.Mode.
+const (
+	ModeAll        = service.ModeAll
+	ModePrize      = service.ModePrize
+	ModePrizeExact = service.ModePrizeExact
+)
+
+// ErrServiceClosed is returned by Submit once Close has begun.
+var ErrServiceClosed = service.ErrClosed
+
+// NewService starts the concurrent batch-scheduling service. The caller
+// owns it and must Close it to release the worker pool.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceHandler binds a service to its JSON-over-HTTP surface
+// (/v1/schedule, /v1/batch, /healthz, /stats) — what `powersched serve`
+// listens with.
+func NewServiceHandler(svc *Service) http.Handler { return service.NewHTTPHandler(svc) }
+
+// BuildServiceRequest turns a wire spec into a runnable request,
+// validating the cost model and computing the instance digest that keys
+// the result cache.
+func BuildServiceRequest(spec InstanceSpec) (ServiceRequest, error) {
+	return service.BuildRequest(spec)
+}
+
+// SolveRequest answers one request synchronously with no pool or cache —
+// the sequential reference path the service is differential-tested
+// against.
+func SolveRequest(req ServiceRequest) (*Schedule, error) { return service.Solve(req) }
 
 // ---- Energy-cost models (thesis §1) ----
 

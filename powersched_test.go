@@ -1,12 +1,18 @@
 package powersched_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	powersched "repro"
 	"repro/internal/bitset"
 	"repro/internal/matroid"
+	"repro/internal/service"
 	"repro/internal/submodular"
 )
 
@@ -55,6 +61,71 @@ func TestFacadeScheduleAll(t *testing.T) {
 	}
 	if pe.Value < 2 {
 		t.Fatalf("exact prize value %v", pe.Value)
+	}
+}
+
+// TestFacadeService drives the serving layer through the public facade
+// only: build a request from a wire spec, submit it programmatically and
+// over HTTP, and require agreement with the sequential path.
+func TestFacadeService(t *testing.T) {
+	spec := powersched.InstanceSpec{
+		Procs: 1, Horizon: 8,
+		Cost: service.CostSpec{Model: "affine", Alpha: 2, Rate: 1},
+		Jobs: []service.JobSpec{
+			{Allowed: []service.SlotSpec{{Proc: 0, Time: 1}, {Proc: 0, Time: 2}}},
+			{Allowed: []service.SlotSpec{{Proc: 0, Time: 2}, {Proc: 0, Time: 3}}},
+		},
+	}
+	req, err := powersched.BuildServiceRequest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := powersched.SolveRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := powersched.NewService(powersched.ServiceConfig{Workers: 2})
+	defer svc.Close(context.Background())
+	got, err := svc.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(req.Instance); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("service disagrees with sequential:\n seq: %s\n svc: %s", a, b)
+	}
+
+	// Same instance over the HTTP surface. The programmatic Submit above
+	// already cached this digest, so both waves are cache hits — the
+	// programmatic and HTTP faces share one cache.
+	srv := httptest.NewServer(powersched.NewServiceHandler(svc))
+	defer srv.Close()
+	body, _ := json.Marshal(spec)
+	for i, wantHit := range []bool{true, true} {
+		resp, err := http.Post(srv.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out service.ScheduleResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Error != "" || out.Schedule == nil || out.Schedule.Cost != want.Cost {
+			t.Fatalf("wave %d: response %+v", i, out)
+		}
+		if out.CacheHit != wantHit {
+			t.Fatalf("wave %d: cache hit = %v, want %v", i, out.CacheHit, wantHit)
+		}
+	}
+	if st := svc.Stats(); st.CacheHits < 1 || st.Workers != 2 {
+		t.Fatalf("stats %+v", st)
 	}
 }
 

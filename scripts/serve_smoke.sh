@@ -1,0 +1,53 @@
+#!/bin/sh
+# End-to-end smoke test for the serving layer: start `powersched serve`,
+# wait for /healthz, post the same instance twice, and check that the
+# response schedules the jobs and that the second request registered as a
+# digest-cache hit in /stats. Usage: scripts/serve_smoke.sh [port]
+set -eu
+port="${1:-8931}"
+base="http://127.0.0.1:$port"
+bin="$(mktemp -d)/powersched"
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")"' EXIT
+
+go build -o "$bin" ./cmd/powersched
+"$bin" serve -addr "127.0.0.1:$port" -workers 2 &
+pid=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$pid" 2>/dev/null; then echo "serve exited early" >&2; exit 1; fi
+    sleep 0.1
+done
+curl -fsS "$base/healthz" | grep -q '"ok": true'
+
+req='{
+  "procs": 2, "horizon": 12,
+  "cost": {"model": "perproc", "alphas": [2, 4], "rates": [1, 1]},
+  "jobs": [
+    {"allowed": [{"proc": 0, "time": 1}, {"proc": 0, "time": 2}]},
+    {"allowed": [{"proc": 0, "time": 2}, {"proc": 1, "time": 3}]},
+    {"value": 2, "allowed": [{"proc": 1, "time": 8}]}
+  ]
+}'
+
+first="$(curl -fsS -X POST -d "$req" "$base/v1/schedule")"
+echo "$first" | jq -e '.schedule.scheduled == 3 and (.schedule.intervals | length) >= 1 and (.cache_hit == false)' >/dev/null \
+    || { echo "unexpected first response: $first" >&2; exit 1; }
+
+second="$(curl -fsS -X POST -d "$req" "$base/v1/schedule")"
+echo "$second" | jq -e '.cache_hit == true' >/dev/null \
+    || { echo "repeat request missed the cache: $second" >&2; exit 1; }
+[ "$(echo "$first" | jq -c .schedule)" = "$(echo "$second" | jq -c .schedule)" ] \
+    || { echo "cached schedule differs" >&2; exit 1; }
+
+curl -fsS "$base/stats" | jq -e '.cache_hits >= 1 and .submitted >= 2 and .errors == 0' >/dev/null \
+    || { echo "stats do not show the cache hit" >&2; exit 1; }
+
+batch_ok="$(curl -fsS -X POST -d "{\"requests\": [$req, $req]}" "$base/v1/batch" | jq '[.results[] | select(.error == null or .error == "")] | length')"
+[ "$batch_ok" = "2" ] || { echo "batch results: $batch_ok of 2 ok" >&2; exit 1; }
+
+# Graceful drain: SIGTERM must stop the server cleanly.
+kill -TERM "$pid"
+wait "$pid"
+echo "serve smoke OK"
