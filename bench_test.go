@@ -6,14 +6,32 @@ package powersched_test
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	cfg := experiments.Config{Seed: 42, Quick: true}
+	benchExperimentCfg(b, id, experiments.Config{Seed: 42, Quick: true})
+}
+
+// benchExperimentW times an experiment with the greedy's probe
+// parallelism set: the same tables (worker counts never change picks),
+// only the candidate scans and lazy revalidation run W-wide on sharded
+// incremental-oracle replicas. Compare against the serial benchmark of
+// the same experiment for the parallel-scaling table in the README.
+func benchExperimentW(b *testing.B, id string, workers int) {
+	b.Helper()
+	benchExperimentCfg(b, id, experiments.Config{Seed: 42, Quick: true, Workers: workers})
+}
+
+func benchExperimentCfg(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
 	var run func(experiments.Config) interface {
 		WriteTo(io.Writer) (int64, error)
 	}
@@ -60,3 +78,46 @@ func BenchmarkA1LazyGreedy(b *testing.B)          { benchExperiment(b, "A1") }
 func BenchmarkA2CandidatePolicy(b *testing.B)     { benchExperiment(b, "A2") }
 func BenchmarkA3IncrementalMatching(b *testing.B) { benchExperiment(b, "A3") }
 func BenchmarkA4EpsilonSweep(b *testing.B)        { benchExperiment(b, "A4") }
+
+// Worker sweeps for the greedy-bound experiments (the parallel-scaling
+// table): serial is the plain benchmark above; W2/W4/W8 shard candidate
+// probes across that many incremental-oracle replicas.
+func BenchmarkE3PrizeCollectingW2(b *testing.B)     { benchExperimentW(b, "E3", 2) }
+func BenchmarkE3PrizeCollectingW4(b *testing.B)     { benchExperimentW(b, "E3", 4) }
+func BenchmarkE3PrizeCollectingW8(b *testing.B)     { benchExperimentW(b, "E3", 8) }
+func BenchmarkE4ExactThresholdW2(b *testing.B)      { benchExperimentW(b, "E4", 2) }
+func BenchmarkE4ExactThresholdW4(b *testing.B)      { benchExperimentW(b, "E4", 4) }
+func BenchmarkE4ExactThresholdW8(b *testing.B)      { benchExperimentW(b, "E4", 8) }
+func BenchmarkE6MonotoneSecretaryW2(b *testing.B)   { benchExperimentW(b, "E6", 2) }
+func BenchmarkE6MonotoneSecretaryW4(b *testing.B)   { benchExperimentW(b, "E6", 4) }
+func BenchmarkE6MonotoneSecretaryW8(b *testing.B)   { benchExperimentW(b, "E6", 8) }
+func BenchmarkA3IncrementalMatchingW2(b *testing.B) { benchExperimentW(b, "A3", 2) }
+func BenchmarkA3IncrementalMatchingW4(b *testing.B) { benchExperimentW(b, "A3", 4) }
+func BenchmarkA3IncrementalMatchingW8(b *testing.B) { benchExperimentW(b, "A3", 8) }
+
+// benchScheduleAllLazy isolates per-instance worker scaling from the
+// experiments' trial-level parallelism: one planted instance, one lazy
+// incremental greedy, W probe workers. This is the latency story a single
+// service request sees; the experiment sweeps above measure throughput.
+func benchScheduleAllLazy(b *testing.B, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ins, _ := workload.PlantedSchedule(rng, workload.PlantedParams{
+		Procs: 2, Horizon: 96, IntervalsPerProc: 2, JobsPerInterval: 16,
+		ExtraSlotsPerJob: 2,
+		Cost:             power.Affine{Alpha: 4, Rate: 1},
+	})
+	opts := sched.Options{Lazy: true, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ScheduleAll(ins, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleAllLazyW1(b *testing.B) { benchScheduleAllLazy(b, 1) }
+func BenchmarkScheduleAllLazyW2(b *testing.B) { benchScheduleAllLazy(b, 2) }
+func BenchmarkScheduleAllLazyW4(b *testing.B) { benchScheduleAllLazy(b, 4) }
+func BenchmarkScheduleAllLazyW8(b *testing.B) { benchScheduleAllLazy(b, 8) }

@@ -20,6 +20,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "base RNG seed (runs are deterministic per seed)")
 	quick := flag.Bool("quick", false, "smaller sweeps and trial counts")
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	workers := flag.Int("workers", 0, "greedy probe parallelism for E3/E4/A3/E6 (0 = serial; picks identical at any count, but A3's evals/ms columns vary)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	if err := experiments.RunAll(os.Stdout, cfg, ids); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -1,8 +1,8 @@
 // Command powersched solves power-scheduling instances given as JSON and
 // serves them over HTTP.
 //
-//	powersched [solve] [file]   solve one instance (stdin or file) to stdout
-//	powersched serve [flags]    long-lived JSON-over-HTTP scheduling service
+//	powersched [solve] [flags] [file]   solve one instance (stdin or file) to stdout
+//	powersched serve [flags]            long-lived JSON-over-HTTP scheduling service
 //
 // Instance schema (shared by solve, /v1/schedule, and /v1/batch entries):
 //
@@ -18,9 +18,15 @@
 // "timeofuse" {alphas, rates, price}; "superlinear" {alpha, rate, fan,
 // exp}; "unavailable" {base: <model>, blocked: [{proc, time}, ...]}.
 //
-// Serve flags: -addr (default :8080), -workers, -queue, -cache. The
-// server drains gracefully on SIGINT/SIGTERM: in-flight and queued
-// requests are answered, new ones are refused with 503.
+// Solve flags: -workers sets the greedy's candidate-probe parallelism
+// (sharded incremental-oracle replicas; identical schedules at any count,
+// the JSON "workers" field wins when set).
+//
+// Serve flags: -addr (default :8080), -workers, -queue, -cache,
+// -probe-workers (default per-request greedy parallelism for requests
+// whose spec leaves "workers" unset). The server drains gracefully on
+// SIGINT/SIGTERM: in-flight and queued requests are answered, new ones
+// are refused with 503.
 package main
 
 import (
@@ -40,7 +46,7 @@ import (
 	"repro/internal/service"
 )
 
-func run(in io.Reader, out io.Writer) error {
+func run(in io.Reader, out io.Writer, workers int) error {
 	data, err := io.ReadAll(in)
 	if err != nil {
 		return err
@@ -48,6 +54,9 @@ func run(in io.Reader, out io.Writer) error {
 	req, err := service.DecodeRequest(data)
 	if err != nil {
 		return err
+	}
+	if req.Opts.Workers == 0 {
+		req.Opts.Workers = workers
 	}
 	s, err := service.Solve(req)
 	if err != nil {
@@ -59,16 +68,21 @@ func run(in io.Reader, out io.Writer) error {
 }
 
 func solveMain(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "greedy probe parallelism (0 = serial; schedules are identical at any count)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	in := io.Reader(os.Stdin)
-	if len(args) > 0 {
-		f, err := os.Open(args[0])
+	if rest := fs.Args(); len(rest) > 0 {
+		f, err := os.Open(rest[0])
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	}
-	return run(in, os.Stdout)
+	return run(in, os.Stdout, *workers)
 }
 
 func serveMain(args []string) error {
@@ -77,12 +91,15 @@ func serveMain(args []string) error {
 	workers := fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "request queue depth (0 = 4×workers); a full queue blocks submitters")
 	cache := fs.Int("cache", 0, "result cache entries (0 = 256, negative disables)")
+	probeWorkers := fs.Int("probe-workers", 0, "default per-request greedy parallelism when the spec leaves \"workers\" unset (0 = serial requests)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	svc := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, ProbeWorkers: *probeWorkers,
+	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHTTPHandler(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -15,7 +15,7 @@ import (
 func solve(t *testing.T, input string) service.ScheduleSpec {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(strings.NewReader(input), &buf); err != nil {
+	if err := run(strings.NewReader(input), &buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	var out service.ScheduleSpec
@@ -118,7 +118,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for name, input := range cases {
 		var buf bytes.Buffer
-		if err := run(strings.NewReader(input), &buf); err == nil {
+		if err := run(strings.NewReader(input), &buf, 0); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}

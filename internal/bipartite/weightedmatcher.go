@@ -127,6 +127,21 @@ func (m *WeightedMatcher) GainOfSet(xs []int) float64 {
 	return gain
 }
 
+// Clone returns an independent copy of the matcher (shares the graph,
+// weights, and order, which are immutable after construction).
+func (m *WeightedMatcher) Clone() *WeightedMatcher {
+	return &WeightedMatcher{
+		g:       m.g,
+		wy:      m.wy,
+		order:   m.order,
+		enabled: m.enabled.Clone(),
+		matchX:  append([]int32(nil), m.matchX...),
+		matchY:  append([]int32(nil), m.matchY...),
+		value:   m.value,
+		visited: make([]int32, m.g.nx),
+	}
+}
+
 // augmentUnsaturated retries every unsaturated positive-value job in
 // descending weight order and returns the total weight newly saturated.
 func (m *WeightedMatcher) augmentUnsaturated() float64 {

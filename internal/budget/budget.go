@@ -18,10 +18,17 @@
 // shrink as the solution grows. Both variants pick identical subsets (ties
 // broken by index); they differ only in oracle-call counts, which ablation
 // A1 measures.
+//
+// Both greedies scale across CPUs without giving up the incremental-oracle
+// fast path: Options.Workers shards the candidate scan over goroutines
+// that each own a cloned oracle replica (submodular.Incremental.Clone).
+// Every replica replays the same Commit after each pick, so replicas stay
+// bit-identical and a probe answers the same on any of them — pick
+// sequences are therefore invariant in the worker count, which the
+// differential tests in parallel_test.go assert oracle by oracle.
 package budget
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -52,14 +59,34 @@ type Options struct {
 	// Eps is the bicriteria slack ε: stop at utility (1−ε)·Threshold.
 	// Must be in (0, 1].
 	Eps float64
-	// Parallel evaluates candidate subsets concurrently in plain Greedy.
-	// It forces from-scratch Eval oracles: incremental probes share
-	// scratch state and cannot run concurrently.
+	// Workers is the number of concurrent probe goroutines: Greedy shards
+	// each round's candidate scan across them, LazyGreedy additionally
+	// revalidates stale heap entries in concurrent batches. Each worker
+	// owns a cloned incremental-oracle replica, so the fast path and
+	// multicore compose. 0 and 1 both mean serial. Picked subsets are
+	// identical for every worker count.
+	Workers int
+	// Parallel is deprecated: when set and Workers is 0 it acts as
+	// Workers = runtime.GOMAXPROCS(0). Unlike its historical behavior it
+	// no longer forces from-scratch Eval oracles — use PlainEval for that.
 	Parallel bool
 	// PlainEval disables the incremental-oracle fast path even when F
 	// provides one (submodular.AsIncremental), recomputing every probe
 	// from scratch — the ablation A1/A3 baseline.
 	PlainEval bool
+}
+
+// workerCount resolves the effective worker count.
+func (o Options) workerCount() int {
+	w := o.Workers
+	if w <= 0 {
+		if o.Parallel {
+			w = runtime.GOMAXPROCS(0)
+		} else {
+			w = 1
+		}
+	}
+	return w
 }
 
 // Step records one greedy pick, forming the trace used by the phase
@@ -110,16 +137,236 @@ var ErrInfeasible = errors.New("budget: threshold unreachable with given subsets
 
 const tol = 1e-12
 
+// scanCand is one worker's reduction slot: its shard's best candidate.
+type scanCand struct {
+	idx   int
+	gain  float64
+	ratio float64
+}
+
+// workspace is the per-run state shared by Greedy and LazyGreedy (the
+// secretary package's OfflineGreedyCardinalityWorkers mirrors the same
+// replica/replay/reduction scheme for singleton probes — keep them in
+// sync): the
+// resolved worker count, the per-worker oracle replicas (or plain-Eval
+// probe buffers), the candidates' materialized item lists, and the
+// reduction slots. Everything is allocated once per run — the probe loops
+// and parallel phases allocate nothing per round.
+type workspace struct {
+	f       submodular.Function
+	workers int
+	x       float64 // utility cap (Problem.Threshold)
+
+	// Incremental fast path: replicas[0] is the primary oracle; the rest
+	// are clones that replay every commit. nil on the plain-Eval path.
+	replicas []submodular.Incremental
+	itemsOf  [][]int
+
+	// Plain-Eval path: the current union plus one probe buffer per
+	// worker. cur is maintained on both paths (it is Result.Union).
+	cur     *bitset.Set
+	scratch []*bitset.Set
+
+	// pending holds the last pick's items until every replica has
+	// replayed the commit: parallel phases replay it per worker, serial
+	// paths and exits flush it explicitly.
+	pending []int
+
+	best []scanCand // per-worker reduction slots
+
+	// Lazy revalidation result buffers, one slot per batch entry.
+	batchGain  []float64
+	batchRatio []float64
+	batchOK    []bool
+}
+
+// newWorkspace resolves options against the problem and allocates all
+// per-run scratch. f must be the counting wrapper the run bills probes to.
+func newWorkspace(f submodular.Function, p Problem, opts Options) *workspace {
+	workers := opts.workerCount()
+	if workers > len(p.Subsets) {
+		workers = len(p.Subsets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ws := &workspace{
+		f:       f,
+		workers: workers,
+		x:       p.Threshold,
+		cur:     bitset.New(p.F.Universe()),
+		best:    make([]scanCand, workers),
+	}
+	if !opts.PlainEval {
+		if inc, ok := submodular.AsIncremental(f); ok {
+			ws.replicas = make([]submodular.Incremental, workers)
+			ws.replicas[0] = inc
+			for w := 1; w < workers; w++ {
+				ws.replicas[w] = inc.Clone()
+			}
+			ws.itemsOf = make([][]int, len(p.Subsets))
+			for i := range p.Subsets {
+				ws.itemsOf[i] = p.Subsets[i].Items.Elements()
+			}
+		}
+	}
+	if ws.replicas == nil {
+		ws.scratch = make([]*bitset.Set, workers)
+		for w := range ws.scratch {
+			ws.scratch[w] = bitset.New(p.F.Universe())
+		}
+	}
+	return ws
+}
+
+// markPicked records the chosen subset for deferred replay on the oracle
+// replicas. The caller updates cur itself (both paths need the union).
+func (ws *workspace) markPicked(i int) {
+	if ws.replicas != nil {
+		ws.pending = ws.itemsOf[i]
+	}
+}
+
+// flushPending applies the deferred commit to the primary replica on the
+// calling goroutine — the serial paths' commit (replicas[0] is the only
+// replica then), and the final commit before reading Value at exit. The
+// parallel phases replay pending on every replica themselves; after the
+// last pick only the primary's Value is ever read, so the clones are
+// left one commit behind on purpose.
+func (ws *workspace) flushPending() {
+	if len(ws.pending) == 0 {
+		return
+	}
+	if ws.replicas != nil {
+		ws.replicas[0].Commit(ws.pending)
+	}
+	ws.pending = nil
+}
+
+// utility returns the uncapped F of the current union: the committed value
+// when running incrementally (cur mirrors the oracle's base set by
+// construction), a fresh Eval otherwise.
+func (ws *workspace) utility() float64 {
+	ws.flushPending()
+	if ws.replicas != nil {
+		return ws.replicas[0].Value()
+	}
+	return ws.f.Eval(ws.cur)
+}
+
+// probe evaluates candidate i on worker w's replica (or probe buffer) and
+// returns its capped gain and ratio against curU. base must be worker w's
+// committed Value() on the incremental path. Probes are pure with respect
+// to worker identity: replicas hold bit-identical state, so any worker
+// computes the same answer for the same candidate.
+func (ws *workspace) probe(w, i int, base, curU float64, subsets []Subset) (gain, ratio float64, ok bool) {
+	var v float64
+	if ws.replicas != nil {
+		v = math.Min(ws.x, base+ws.replicas[w].Gain(ws.itemsOf[i]))
+	} else {
+		v = math.Min(ws.x, evalUnion(ws.f, ws.scratch[w], ws.cur, subsets[i].Items))
+	}
+	gain = v - curU
+	if gain <= tol {
+		return 0, 0, false
+	}
+	ratio = math.Inf(1)
+	if subsets[i].Cost > tol {
+		ratio = gain / subsets[i].Cost
+	}
+	return gain, ratio, true
+}
+
+// base returns worker w's committed oracle value (0 on the plain path,
+// where probes evaluate the union directly).
+func (ws *workspace) base(w int) float64 {
+	if ws.replicas != nil {
+		return ws.replicas[w].Value()
+	}
+	return 0
+}
+
+// runWorkers invokes fn(w) for w = 0..workers-1 concurrently, running
+// shard 0 on the calling goroutine, and waits for all of them.
+func runWorkers(workers int, fn func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// scanBest finds the best unpicked candidate: max ratio, ties to the
+// lowest index. With multiple workers the candidate range is sharded into
+// contiguous chunks; each worker first replays the pending commit on its
+// replica, then scans its chunk. The in-order reduction with a strict >
+// keeps the lowest-index tie-break identical to the serial scan.
+func (ws *workspace) scanBest(subsets []Subset, picked []bool, curU float64) (int, float64, float64) {
+	n := len(subsets)
+	if ws.workers == 1 {
+		ws.flushPending()
+		local := scanCand{idx: -1, ratio: math.Inf(-1)}
+		base := ws.base(0)
+		for i := 0; i < n; i++ {
+			if picked[i] {
+				continue
+			}
+			if gain, ratio, ok := ws.probe(0, i, base, curU, subsets); ok && ratio > local.ratio {
+				local = scanCand{idx: i, gain: gain, ratio: ratio}
+			}
+		}
+		return local.idx, local.gain, local.ratio
+	}
+	pending := ws.pending
+	chunk := (n + ws.workers - 1) / ws.workers
+	runWorkers(ws.workers, func(w int) {
+		if ws.replicas != nil && len(pending) > 0 {
+			ws.replicas[w].Commit(pending)
+		}
+		local := scanCand{idx: -1, ratio: math.Inf(-1)}
+		base := ws.base(w)
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if picked[i] {
+				continue
+			}
+			if gain, ratio, ok := ws.probe(w, i, base, curU, subsets); ok && ratio > local.ratio {
+				local = scanCand{idx: i, gain: gain, ratio: ratio}
+			}
+		}
+		ws.best[w] = local
+	})
+	ws.pending = nil
+	best := scanCand{idx: -1, ratio: math.Inf(-1)}
+	for _, c := range ws.best {
+		if c.idx != -1 && c.ratio > best.ratio {
+			best = c
+		}
+	}
+	return best.idx, best.gain, best.ratio
+}
+
 // Greedy runs the algorithm of Lemma 2.1.2. On success the result has
 // capped utility at least (1−ε)·Threshold.
 //
 // When F provides an incremental oracle (submodular.AsIncremental) and
-// neither Parallel nor PlainEval is set, every probe F(S ∪ Sᵢ) is answered
-// by the stateful oracle's Gain instead of a from-scratch Eval. For
-// integer-valued oracles (coverage with unit weights, the matching
-// utilities) the pick sequence is bit-identical to the plain path; for
-// float-valued oracles the two paths sum the same terms in different
-// orders, so picks can differ at exact floating-point ties.
+// PlainEval is not set, every probe F(S ∪ Sᵢ) is answered by a stateful
+// oracle's Gain instead of a from-scratch Eval — with Workers > 1, by one
+// of the per-worker replicas, all holding identical committed state, so
+// pick sequences do not depend on the worker count. For integer-valued
+// oracles (coverage with unit weights, the matching utilities) the pick
+// sequence is also bit-identical to the plain path; for float-valued
+// oracles the incremental and plain paths sum the same terms in different
+// orders, so picks can differ between those two paths at exact
+// floating-point ties.
 func Greedy(p Problem, opts Options) (*Result, error) {
 	if err := validate(p, opts); err != nil {
 		return nil, err
@@ -128,69 +375,21 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 	x := p.Threshold
 	target := (1 - opts.Eps) * x
 
-	workers := 1
-	if opts.Parallel {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Gate on the option, not the resolved worker count: on a 1-CPU
-	// machine Parallel still means "use the from-scratch Eval path", so
-	// results stay identical across machines.
-	inc, itemsOf := incrementalFor(f, p.Subsets, opts, !opts.Parallel)
-
-	cur := bitset.New(p.F.Universe())
-	var scratch *bitset.Set // plain-path probe buffer; unused incrementally
-	incBase := 0.0          // F(S) of the committed base; loop-invariant per round
-	if inc != nil {
-		incBase = inc.Value()
-	} else {
-		scratch = bitset.New(p.F.Universe())
-	}
-	curU := math.Min(x, utilityOf(f, inc, cur))
+	ws := newWorkspace(f, p, opts)
+	cur := ws.cur
+	curU := math.Min(x, ws.utility())
 	res := &Result{Union: cur}
 	picked := make([]bool, len(p.Subsets))
 
 	for curU < target-tol {
-		best, bestGain, bestRatio := -1, 0.0, math.Inf(-1)
-		consider := func(i int) (float64, float64, bool) {
-			var v float64
-			if inc != nil {
-				v = math.Min(x, incBase+inc.Gain(itemsOf[i]))
-			} else {
-				v = math.Min(x, evalUnion(f, scratch, cur, p.Subsets[i].Items))
-			}
-			gain := v - curU
-			if gain <= tol {
-				return 0, 0, false
-			}
-			ratio := math.Inf(1)
-			if p.Subsets[i].Cost > tol {
-				ratio = gain / p.Subsets[i].Cost
-			}
-			return gain, ratio, true
-		}
-		if workers == 1 {
-			for i := range p.Subsets {
-				if picked[i] {
-					continue
-				}
-				gain, ratio, ok := consider(i)
-				if ok && ratio > bestRatio {
-					best, bestGain, bestRatio = i, gain, ratio
-				}
-			}
-		} else {
-			best, bestGain, bestRatio = parallelBest(p, f, cur, curU, x, picked, workers)
-		}
+		best, bestGain, bestRatio := ws.scanBest(p.Subsets, picked, curU)
 		if best == -1 {
-			res.Utility = utilityOf(f, inc, cur)
+			res.Utility = ws.utility()
 			res.Evals = f.Calls()
 			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
 		}
 		picked[best] = true
-		if inc != nil {
-			inc.Commit(itemsOf[best])
-			incBase = inc.Value()
-		}
+		ws.markPicked(best)
 		cur.UnionWith(p.Subsets[best].Items)
 		curU += bestGain
 		res.Chosen = append(res.Chosen, best)
@@ -199,98 +398,9 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 			Subset: best, Gain: bestGain, Ratio: bestRatio, Cost: res.Cost, Utility: curU,
 		})
 	}
-	res.Utility = utilityOf(f, inc, cur)
+	res.Utility = ws.utility()
 	res.Evals = f.Calls()
 	return res, nil
-}
-
-// incrementalFor sets up the incremental fast path: a fresh stateful
-// oracle plus each subset's materialized item list (extracted once so
-// probes don't re-walk bitsets every round). Returns (nil, nil) when the
-// plain Eval path must be used.
-func incrementalFor(f submodular.Function, subs []Subset, opts Options, serial bool) (submodular.Incremental, [][]int) {
-	if opts.PlainEval || !serial {
-		return nil, nil
-	}
-	inc, ok := submodular.AsIncremental(f)
-	if !ok {
-		return nil, nil
-	}
-	itemsOf := make([][]int, len(subs))
-	for i := range subs {
-		itemsOf[i] = subs[i].Items.Elements()
-	}
-	return inc, itemsOf
-}
-
-// utilityOf returns the uncapped F of the current union: the committed
-// value when running incrementally (cur mirrors the oracle's base set by
-// construction), a fresh Eval otherwise.
-func utilityOf(f submodular.Function, inc submodular.Incremental, cur *bitset.Set) float64 {
-	if inc != nil {
-		return inc.Value()
-	}
-	return f.Eval(cur)
-}
-
-// parallelBest scans candidates across workers; ties resolve to the lowest
-// index so that parallel and serial runs pick identical subsets.
-func parallelBest(p Problem, f submodular.Function, cur *bitset.Set, curU, x float64, picked []bool, workers int) (int, float64, float64) {
-	type cand struct {
-		idx   int
-		gain  float64
-		ratio float64
-	}
-	results := make([]cand, workers)
-	var wg sync.WaitGroup
-	chunk := (len(p.Subsets) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(p.Subsets) {
-			hi = len(p.Subsets)
-		}
-		if lo >= hi {
-			results[w] = cand{idx: -1, ratio: math.Inf(-1)}
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			local := cand{idx: -1, ratio: math.Inf(-1)}
-			scratch := cur.Clone()
-			for i := lo; i < hi; i++ {
-				if picked[i] {
-					continue
-				}
-				scratch.CopyFrom(cur)
-				scratch.UnionWith(p.Subsets[i].Items)
-				v := math.Min(x, f.Eval(scratch))
-				gain := v - curU
-				if gain <= tol {
-					continue
-				}
-				ratio := math.Inf(1)
-				if p.Subsets[i].Cost > tol {
-					ratio = gain / p.Subsets[i].Cost
-				}
-				if ratio > local.ratio {
-					local = cand{idx: i, gain: gain, ratio: ratio}
-				}
-			}
-			results[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	best := cand{idx: -1, ratio: math.Inf(-1)}
-	for _, c := range results {
-		if c.idx == -1 {
-			continue
-		}
-		if c.ratio > best.ratio || (c.ratio == best.ratio && best.idx != -1 && c.idx < best.idx) {
-			best = c
-		}
-	}
-	return best.idx, best.gain, best.ratio
 }
 
 // evalUnion evaluates F(cur ∪ items) in the caller-provided scratch set,
@@ -328,29 +438,159 @@ type lazyEntry struct {
 	round int // greedy round when the ratio was computed
 }
 
+// lazyHeap is a manual max-heap of lazyEntry ordered by (ratio desc, idx
+// asc) — a total order, since an index appears at most once, so the pop
+// sequence is implementation-independent. container/heap was dropped: its
+// interface{}-boxed Push allocated on every reinsertion, one alloc per
+// stale revalidation (see TestLazyHeapPushDoesNotAllocate).
 type lazyHeap []lazyEntry
 
-func (h lazyHeap) Len() int { return len(h) }
-func (h lazyHeap) Less(i, j int) bool {
+func (h lazyHeap) less(i, j int) bool {
 	if h[i].ratio != h[j].ratio {
 		return h[i].ratio > h[j].ratio
 	}
 	return h[i].idx < h[j].idx
 }
-func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
-func (h *lazyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// init establishes the heap invariant over arbitrary contents.
+func (h lazyHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *lazyHeap) push(e lazyEntry) {
+	*h = append(*h, e)
+	hh := *h
+	for i := len(hh) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !hh.less(i, p) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
+	}
+}
+
+func (h *lazyHeap) pop() lazyEntry {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	*h = hh[:n]
+	hh[:n].siftDown(0)
+	return top
+}
+
+func (h lazyHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// initHeap probes every candidate and returns the initialized lazy heap.
+// With multiple workers the probes are sharded across the replicas; the
+// heap is then built from the index-ordered results, so its contents are
+// identical to a serial build (and so is the probe count: both paths probe
+// every candidate exactly once).
+func (ws *workspace) initHeap(subsets []Subset, curU float64) lazyHeap {
+	n := len(subsets)
+	h := make(lazyHeap, 0, n)
+	if ws.workers == 1 {
+		base := ws.base(0)
+		for i := 0; i < n; i++ {
+			if gain, ratio, ok := ws.probe(0, i, base, curU, subsets); ok {
+				h = append(h, lazyEntry{idx: i, ratio: ratio, gain: gain})
+			}
+		}
+		h.init()
+		return h
+	}
+	gains := make([]float64, n)
+	ratios := make([]float64, n)
+	oks := make([]bool, n)
+	chunk := (n + ws.workers - 1) / ws.workers
+	runWorkers(ws.workers, func(w int) {
+		base := ws.base(w)
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			gains[i], ratios[i], oks[i] = ws.probe(w, i, base, curU, subsets)
+		}
+	})
+	for i := 0; i < n; i++ {
+		if oks[i] {
+			h = append(h, lazyEntry{idx: i, ratio: ratios[i], gain: gains[i]})
+		}
+	}
+	h.init()
+	return h
+}
+
+// revalidate re-probes a batch of stale heap entries against the current
+// solution and reinserts the still-useful ones stamped with the current
+// round. Workers first replay the pending commit on their replica, then
+// split the batch; pushes happen on the calling goroutine in batch order.
+// Which worker probes which entry cannot matter: replicas are identical.
+func (ws *workspace) revalidate(h *lazyHeap, batch []lazyEntry, subsets []Subset, curU float64, round int) {
+	if ws.workers == 1 {
+		ws.flushPending()
+		base := ws.base(0)
+		for _, e := range batch {
+			if gain, ratio, ok := ws.probe(0, e.idx, base, curU, subsets); ok {
+				h.push(lazyEntry{idx: e.idx, ratio: ratio, gain: gain, round: round})
+			}
+		}
+		return
+	}
+	if len(ws.batchOK) < len(batch) {
+		ws.batchGain = make([]float64, len(batch))
+		ws.batchRatio = make([]float64, len(batch))
+		ws.batchOK = make([]bool, len(batch))
+	}
+	pending := ws.pending
+	runWorkers(ws.workers, func(w int) {
+		if ws.replicas != nil && len(pending) > 0 {
+			ws.replicas[w].Commit(pending)
+		}
+		base := ws.base(w)
+		for bi := w; bi < len(batch); bi += ws.workers {
+			ws.batchGain[bi], ws.batchRatio[bi], ws.batchOK[bi] = ws.probe(w, batch[bi].idx, base, curU, subsets)
+		}
+	})
+	ws.pending = nil
+	for bi, e := range batch {
+		if ws.batchOK[bi] {
+			h.push(lazyEntry{idx: e.idx, ratio: ws.batchRatio[bi], gain: ws.batchGain[bi], round: round})
+		}
+	}
 }
 
 // LazyGreedy computes the same solution as Greedy with (typically far)
 // fewer oracle calls, using stale-ratio lazy evaluation. Like Greedy it
 // takes the incremental fast path when F provides one, compounding the
-// two savings: fewer probes, and each probe cheaper.
+// two savings: fewer probes, and each probe cheaper. With Workers > 1 the
+// stale entries at the top of the heap are revalidated in concurrent
+// batches of up to Workers entries across the oracle replicas — the picks
+// are still exactly Greedy's (the heap order is total and probes answer
+// identically on every replica); a batch may merely re-probe up to
+// Workers−1 entries that serial evaluation would have skipped, so Evals
+// can exceed the serial count slightly.
 func LazyGreedy(p Problem, opts Options) (*Result, error) {
 	if err := validate(p, opts); err != nil {
 		return nil, err
@@ -359,74 +599,50 @@ func LazyGreedy(p Problem, opts Options) (*Result, error) {
 	x := p.Threshold
 	target := (1 - opts.Eps) * x
 
-	inc, itemsOf := incrementalFor(f, p.Subsets, opts, true)
-
-	cur := bitset.New(p.F.Universe())
-	var scratch *bitset.Set // plain-path probe buffer; unused incrementally
-	incBase := 0.0          // F(S) of the committed base; changes only on commit
-	if inc != nil {
-		incBase = inc.Value()
-	} else {
-		scratch = bitset.New(p.F.Universe())
-	}
-	curU := math.Min(x, utilityOf(f, inc, cur))
+	ws := newWorkspace(f, p, opts)
+	cur := ws.cur
+	curU := math.Min(x, ws.utility())
 	res := &Result{Union: cur}
 
-	probe := func(i int) (gain, ratio float64, ok bool) {
-		var v float64
-		if inc != nil {
-			v = math.Min(x, incBase+inc.Gain(itemsOf[i]))
-		} else {
-			v = math.Min(x, evalUnion(f, scratch, cur, p.Subsets[i].Items))
-		}
-		gain = v - curU
-		if gain <= tol {
-			return 0, 0, false
-		}
-		ratio = math.Inf(1)
-		if p.Subsets[i].Cost > tol {
-			ratio = gain / p.Subsets[i].Cost
-		}
-		return gain, ratio, true
-	}
-
-	h := make(lazyHeap, 0, len(p.Subsets))
 	round := 0
-	for i := range p.Subsets {
-		if gain, ratio, ok := probe(i); ok {
-			h = append(h, lazyEntry{idx: i, ratio: ratio, gain: gain, round: round})
-		}
-	}
-	heap.Init(&h)
+	h := ws.initHeap(p.Subsets, curU)
+	batch := make([]lazyEntry, 0, 8*ws.workers)
 
 	for curU < target-tol {
 		var pick lazyEntry
 		found := false
-		for h.Len() > 0 {
-			top := h[0]
-			if top.round == round {
-				pick = top
-				heap.Pop(&h)
+		// Batch size ramps from Workers to 8×Workers within one cascade:
+		// short cascades stay close to serial probe counts, long ones
+		// amortize the fork/join cost of a revalidation phase over more
+		// probes. Serial runs (workers == 1) keep batches of one, i.e.
+		// the classical pop-one/re-probe loop with identical Evals.
+		batchCap := ws.workers
+		for len(h) > 0 {
+			if h[0].round == round {
+				pick = h.pop()
 				found = true
 				break
 			}
-			// Stale: re-evaluate against the current solution.
-			heap.Pop(&h)
-			gain, ratio, ok := probe(top.idx)
-			if !ok {
-				continue // never useful again: capped marginals only shrink
+			// Stale prefix: entries below the first fresh top have bound
+			// ≤ its ratio and stay untouched, exactly as in serial lazy
+			// evaluation; a batch merely revalidates several mandatory
+			// re-probes at once (plus at most batchCap−1 speculative
+			// ones at the cascade's end).
+			batch = batch[:0]
+			for len(h) > 0 && h[0].round != round && len(batch) < batchCap {
+				batch = append(batch, h.pop())
 			}
-			heap.Push(&h, lazyEntry{idx: top.idx, ratio: ratio, gain: gain, round: round})
+			ws.revalidate(&h, batch, p.Subsets, curU, round)
+			if ws.workers > 1 && batchCap < 8*ws.workers {
+				batchCap *= 2
+			}
 		}
 		if !found {
-			res.Utility = utilityOf(f, inc, cur)
+			res.Utility = ws.utility()
 			res.Evals = f.Calls()
 			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
 		}
-		if inc != nil {
-			inc.Commit(itemsOf[pick.idx])
-			incBase = inc.Value()
-		}
+		ws.markPicked(pick.idx)
 		cur.UnionWith(p.Subsets[pick.idx].Items)
 		curU += pick.gain
 		round++
@@ -436,7 +652,7 @@ func LazyGreedy(p Problem, opts Options) (*Result, error) {
 			Subset: pick.idx, Gain: pick.gain, Ratio: pick.ratio, Cost: res.Cost, Utility: curU,
 		})
 	}
-	res.Utility = utilityOf(f, inc, cur)
+	res.Utility = ws.utility()
 	res.Evals = f.Calls()
 	return res, nil
 }

@@ -167,9 +167,9 @@ func A3(cfg Config) *stats.Table {
 		parTrials(trials, cfg.Seed+int64(n), func(trial int, rng *rand.Rand) {
 			ins, _ := e2Instance(rng, n)
 			t0 := time.Now()
-			f, err1 := sched.ScheduleAll(ins, sched.Options{Lazy: true})
+			f, err1 := sched.ScheduleAll(ins, sched.Options{Lazy: true, Workers: cfg.Workers})
 			t1 := time.Now()
-			h, err2 := sched.ScheduleAll(ins, sched.Options{Lazy: true, PlainOracle: true})
+			h, err2 := sched.ScheduleAll(ins, sched.Options{Lazy: true, PlainOracle: true, Workers: cfg.Workers})
 			t2 := time.Now()
 			if err1 != nil || err2 != nil {
 				return

@@ -124,7 +124,7 @@ func E3(cfg Config) *stats.Table {
 				total += j.Value
 			}
 			z := 0.8 * total
-			s, err := sched.PrizeCollecting(ins, z, sched.Options{Eps: eps})
+			s, err := sched.PrizeCollecting(ins, z, sched.Options{Eps: eps, Workers: cfg.Workers})
 			if err != nil {
 				return
 			}
@@ -158,7 +158,7 @@ func E4(cfg Config) *stats.Table {
 				total += j.Value
 			}
 			z := 0.7 * total
-			s, err := sched.PrizeCollectingExact(ins, z, sched.Options{})
+			s, err := sched.PrizeCollectingExact(ins, z, sched.Options{Workers: cfg.Workers})
 			if err != nil {
 				return
 			}

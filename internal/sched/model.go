@@ -249,6 +249,12 @@ func (o *matchOracle) Commit(items []int) float64 { return float64(o.mat.EnableS
 // Reset implements submodular.Incremental.
 func (o *matchOracle) Reset() { o.mat = bipartite.NewMatcher(o.fn.m.G) }
 
+// Clone implements submodular.Incremental: an independent matcher replica
+// over the shared graph, for the parallel greedy's per-worker shards.
+func (o *matchOracle) Clone() submodular.Incremental {
+	return &matchOracle{fn: o.fn, mat: o.mat.Clone()}
+}
+
 // weightedMatchFn is Lemma 2.3.2's utility: F(S) = maximum total job value
 // of a matching saturating only slot-vertices in S. Monotone submodular.
 type weightedMatchFn struct{ m *Model }
@@ -296,6 +302,11 @@ func (o *weightedOracle) Commit(items []int) float64 { return o.mat.EnableSet(it
 // Reset implements submodular.Incremental.
 func (o *weightedOracle) Reset() {
 	o.mat = bipartite.NewWeightedMatcher(o.fn.m.G, o.fn.m.Values, o.fn.m.Order)
+}
+
+// Clone implements submodular.Incremental.
+func (o *weightedOracle) Clone() submodular.Incremental {
+	return &weightedOracle{fn: o.fn, mat: o.mat.Clone()}
 }
 
 // Functions exposed for property tests.

@@ -115,10 +115,18 @@ func (p CandidatePolicy) String() string {
 
 // Options tune the scheduling algorithms.
 type Options struct {
-	Policy   CandidatePolicy
-	Eps      float64 // bicriteria slack for PrizeCollecting; ScheduleAll defaults to 1/(n+1)
-	Lazy     bool    // lazy-evaluation greedy
-	Parallel bool    // parallel candidate scans (plain greedy only; forces from-scratch oracles)
+	Policy CandidatePolicy
+	Eps    float64 // bicriteria slack for PrizeCollecting; ScheduleAll defaults to 1/(n+1)
+	Lazy   bool    // lazy-evaluation greedy
+	// Workers is the number of concurrent candidate-probe goroutines
+	// inside the greedy. Each worker owns a cloned incremental-matcher
+	// replica, so multicore and the incremental fast path compose; the
+	// computed schedule is identical for every worker count (only latency
+	// changes). 0 and 1 both mean serial.
+	Workers int
+	// Parallel is deprecated: when set and Workers is 0 it acts as
+	// Workers = GOMAXPROCS. It no longer forces from-scratch oracles.
+	Parallel bool
 	// PlainOracle forces from-scratch matching oracles (a fresh
 	// Hopcroft–Karp / weighted rebuild per probe) instead of the default
 	// incremental matchers — the ablation A3 baseline.

@@ -62,7 +62,9 @@ func (m *Model) ScheduleAll(opts Options) (*Schedule, error) {
 	if opts.Lazy {
 		run = budget.LazyGreedy
 	}
-	res, err := run(prob, budget.Options{Eps: eps, Parallel: opts.Parallel, PlainEval: opts.PlainOracle})
+	res, err := run(prob, budget.Options{
+		Eps: eps, Workers: opts.Workers, Parallel: opts.Parallel, PlainEval: opts.PlainOracle,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: greedy failed: %w", err)
 	}

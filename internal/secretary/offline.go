@@ -1,6 +1,8 @@
 package secretary
 
 import (
+	"sync"
+
 	"repro/internal/bitset"
 	"repro/internal/matroid"
 	"repro/internal/submodular"
@@ -14,6 +16,84 @@ import (
 // max f(S) s.t. |S| ≤ k (monotone f).
 func OfflineGreedyCardinality(f submodular.Function, k int) *bitset.Set {
 	return offlineGreedy(f, k, unconstrained)
+}
+
+// OfflineGreedyCardinalityWorkers is OfflineGreedyCardinality with each
+// round's marginal scan sharded across workers goroutines, every worker
+// owning a cloned incremental-oracle replica that replays each pick —
+// the singleton-probe twin of budget's workspace/scanBest scheme; a fix
+// to the replay or tie-break logic there likely applies here too. Picks
+// are identical at any worker count: replicas hold bit-identical state
+// and ties resolve to the lowest item (in-order strict-> reduction over
+// contiguous shards). Falls back to the serial greedy when f offers no
+// incremental oracle or workers ≤ 1.
+func OfflineGreedyCardinalityWorkers(f submodular.Function, k, workers int) *bitset.Set {
+	if workers > f.Universe() {
+		workers = f.Universe()
+	}
+	if workers <= 1 {
+		return OfflineGreedyCardinality(f, k)
+	}
+	inc, ok := submodular.AsIncremental(f)
+	if !ok {
+		return OfflineGreedyCardinality(f, k)
+	}
+	n := inc.Universe()
+	replicas := make([]submodular.Incremental, workers)
+	replicas[0] = inc
+	for w := 1; w < workers; w++ {
+		replicas[w] = inc.Clone()
+	}
+	sel := bitset.New(n)
+	type cand struct {
+		item int
+		gain float64
+	}
+	best := make([]cand, workers)
+	chunk := (n + workers - 1) / workers
+	pending := -1 // last pick, replayed on every replica at the next scan
+	for picks := 0; picks < k; picks++ {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				probe := [1]int{}
+				if pending >= 0 {
+					probe[0] = pending
+					replicas[w].Commit(probe[:])
+				}
+				local := cand{item: -1}
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				for item := lo; item < hi; item++ {
+					if sel.Contains(item) {
+						continue
+					}
+					probe[0] = item
+					if g := replicas[w].Gain(probe[:]); g > local.gain {
+						local = cand{item: item, gain: g}
+					}
+				}
+				best[w] = local
+			}(w)
+		}
+		wg.Wait()
+		pick := cand{item: -1}
+		for _, c := range best {
+			if c.item != -1 && c.gain > pick.gain {
+				pick = c
+			}
+		}
+		if pick.item == -1 {
+			break
+		}
+		sel.Add(pick.item)
+		pending = pick.item
+	}
+	return sel
 }
 
 // OfflineGreedyMatroid greedily maximizes f subject to independence in all

@@ -1,0 +1,50 @@
+package secretary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/submodular"
+)
+
+// TestOfflineGreedyWorkersMatchesSerial pins the replica-sharded offline
+// greedy to the serial (1−1/e) greedy pick for pick, across worker counts
+// and oracle kinds (the -race CI job exercises the concurrent scan).
+func TestOfflineGreedyWorkersMatchesSerial(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*48611 + 19))
+		n := 10 + rng.Intn(30)
+		m := 20 + rng.Intn(40)
+		sets := make([]*bitset.Set, n)
+		for i := range sets {
+			sets[i] = bitset.New(m)
+			for e := 0; e < m; e++ {
+				if rng.Intn(3) == 0 {
+					sets[i].Add(e)
+				}
+			}
+		}
+		benefit := make([][]float64, 8)
+		for c := range benefit {
+			benefit[c] = make([]float64, n)
+			for i := range benefit[c] {
+				benefit[c][i] = rng.Float64() * 5
+			}
+		}
+		for name, f := range map[string]submodular.Function{
+			"coverage": submodular.NewCoverage(m, sets, nil),
+			"facility": submodular.NewFacilityLocation(benefit),
+		} {
+			k := 1 + rng.Intn(n)
+			ref := OfflineGreedyCardinality(f, k)
+			for _, workers := range []int{2, 4, 8} {
+				got := OfflineGreedyCardinalityWorkers(f, k, workers)
+				if !got.Equal(ref) {
+					t.Fatalf("%s trial %d workers=%d: selection diverged: %v vs %v",
+						name, trial, workers, got, ref)
+				}
+			}
+		}
+	}
+}

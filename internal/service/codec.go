@@ -74,6 +74,11 @@ type InstanceSpec struct {
 	Z       float64 `json:"z,omitempty"`
 	Eps     float64 `json:"eps,omitempty"`
 	Improve bool    `json:"improve,omitempty"`
+	// Workers is the per-request greedy parallelism (sched.Options
+	// .Workers): concurrent candidate probes over sharded incremental-
+	// oracle replicas. The schedule is identical at any worker count, so
+	// this is a latency knob only; 0 defers to the server's default.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ScheduleSpec is a solved schedule on the wire.
@@ -193,7 +198,7 @@ func BuildRequest(spec InstanceSpec) (Request, error) {
 		Instance:    ins,
 		Mode:        mode,
 		Z:           spec.Z,
-		Opts:        sched.Options{Eps: spec.Eps},
+		Opts:        sched.Options{Eps: spec.Eps, Workers: spec.Workers},
 		Improve:     spec.Improve,
 		InstanceKey: InstanceDigest(spec),
 	}, nil

@@ -76,6 +76,13 @@ type Config struct {
 	// ModelsPerWorker bounds each worker's instance-model cache
 	// (default 8; negative disables model reuse).
 	ModelsPerWorker int
+	// ProbeWorkers is the default per-request greedy parallelism
+	// (sched.Options.Workers) applied to requests that leave Workers
+	// unset. 0 keeps such requests serial — with a saturated pool,
+	// request-level parallelism is usually the better use of the cores;
+	// raise it to trade throughput for per-request latency. Worker counts
+	// never change the computed schedule.
+	ProbeWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -343,6 +350,9 @@ func Solve(req Request) (*sched.Schedule, error) {
 
 // solve runs the request's algorithm, optionally reusing a cached model.
 func (s *Service) solve(models *modelCache, req Request) Result {
+	if req.Opts.Workers == 0 && s.cfg.ProbeWorkers > 0 {
+		req.Opts.Workers = s.cfg.ProbeWorkers
+	}
 	model, reused, err := models.get(req)
 	if err != nil {
 		return Result{Err: err}
@@ -372,14 +382,18 @@ func (s *Service) solve(models *modelCache, req Request) Result {
 
 // cacheKey mixes the instance digest with every request field that
 // changes the answer, including caller-supplied extra candidate
-// intervals. Empty when the request opted out of caching.
+// intervals. Empty when the request opted out of caching. Workers (and
+// the deprecated Parallel alias) are deliberately excluded: the parallel
+// greedy picks identical subsets at every worker count (asserted by the
+// budget/sched determinism tests), so requests differing only in
+// parallelism share one entry.
 func cacheKey(req Request) string {
 	if req.InstanceKey == "" {
 		return ""
 	}
-	key := fmt.Sprintf("%s|m%d|z%g|e%g|i%t|p%d|l%t|par%t|po%t",
+	key := fmt.Sprintf("%s|m%d|z%g|e%g|i%t|p%d|l%t|po%t",
 		req.InstanceKey, req.Mode, req.Z, req.Opts.Eps, req.Improve,
-		req.Opts.Policy, req.Opts.Lazy, req.Opts.Parallel, req.Opts.PlainOracle)
+		req.Opts.Policy, req.Opts.Lazy, req.Opts.PlainOracle)
 	if len(req.Opts.Extra) > 0 {
 		key += fmt.Sprintf("|x%v", req.Opts.Extra)
 	}

@@ -14,7 +14,10 @@ import (
 // exactly as it found it; only Commit moves the base set.
 //
 // Implementations are not safe for concurrent use: probes share scratch
-// state.
+// state. Concurrent algorithms instead give each goroutine its own Clone —
+// replicas that replay the same Commit sequence stay bit-identical, so a
+// probe answers the same on any of them (the invariant behind the parallel
+// greedy's determinism).
 type Incremental interface {
 	Function
 
@@ -29,6 +32,10 @@ type Incremental interface {
 	Commit(items []int) float64
 	// Reset empties the base set.
 	Reset()
+	// Clone returns an independent replica with the same committed base
+	// set and value but its own scratch state, sharing only immutable
+	// problem data with the original. Replicas may probe concurrently.
+	Clone() Incremental
 }
 
 // IncrementalProvider is implemented by stateless Functions that can
@@ -81,6 +88,13 @@ func (w *countingIncremental) Gain(items []int) float64 {
 }
 
 func (w *countingIncremental) Commit(items []int) float64 { return w.inc.Commit(items) }
+
+// Clone implements Incremental. The replica keeps charging the same
+// Counting wrapper, whose counter is atomic, so concurrent replicas bill
+// one shared total.
+func (w *countingIncremental) Clone() Incremental {
+	return &countingIncremental{inc: w.inc.Clone(), c: w.c}
+}
 
 // ---- Coverage ----
 
@@ -158,6 +172,17 @@ func (ic *IncCoverage) Reset() {
 	ic.base.Clear()
 	ic.covered.Clear()
 	ic.value = 0
+}
+
+// Clone implements Incremental (shares the Coverage's immutable sets).
+func (ic *IncCoverage) Clone() Incremental {
+	return &IncCoverage{
+		c:       ic.c,
+		base:    ic.base.Clone(),
+		covered: ic.covered.Clone(),
+		value:   ic.value,
+		scratch: bitset.New(ic.c.m),
+	}
 }
 
 // ---- FacilityLocation ----
@@ -243,6 +268,16 @@ func (ifl *IncFacilityLocation) Commit(items []int) float64 {
 	return gain
 }
 
+// Clone implements Incremental (shares the immutable benefit matrix).
+func (ifl *IncFacilityLocation) Clone() Incremental {
+	return &IncFacilityLocation{
+		f:     ifl.f,
+		base:  ifl.base.Clone(),
+		best:  append([]float64(nil), ifl.best...),
+		value: ifl.value,
+	}
+}
+
 // Reset implements Incremental.
 func (ifl *IncFacilityLocation) Reset() {
 	ifl.base.Clear()
@@ -309,6 +344,16 @@ func (im *IncModular) Commit(items []int) float64 {
 func (im *IncModular) Reset() {
 	im.base.Clear()
 	im.value = 0
+}
+
+// Clone implements Incremental (fresh dedup stamps; shares the weights).
+func (im *IncModular) Clone() Incremental {
+	return &IncModular{
+		m:     im.m,
+		base:  im.base.Clone(),
+		value: im.value,
+		seen:  make([]int32, len(im.m.Weights)),
+	}
 }
 
 // ---- ConcaveCardinality ----
@@ -380,6 +425,16 @@ func (icc *IncConcave) Commit(items []int) float64 {
 func (icc *IncConcave) Reset() {
 	icc.base.Clear()
 	icc.count = 0
+}
+
+// Clone implements Incremental (fresh dedup stamps; shares φ).
+func (icc *IncConcave) Clone() Incremental {
+	return &IncConcave{
+		c:     icc.c,
+		base:  icc.base.Clone(),
+		count: icc.count,
+		seen:  make([]int32, icc.c.n),
+	}
 }
 
 // Interface conformance.

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Prints per-benchmark ns/op and allocs/op deltas between two
+# bench_snapshot.sh JSONs. Informational only — always exits 0, so the CI
+# step that runs it can surface drift without letting benchmark noise
+# (-benchtime 3x wobbles ±20%) fail the build.
+#
+# Usage: scripts/bench_diff.sh BENCH_baseline.json BENCH_current.json
+set -u
+base="${1:?usage: bench_diff.sh baseline.json current.json}"
+cur="${2:?usage: bench_diff.sh baseline.json current.json}"
+awk '
+function num(line, key,    s) {
+    if (match(line, "\"" key "\": *[0-9.]+")) {
+        s = substr(line, RSTART, RLENGTH)
+        sub(/^[^:]*: */, "", s)
+        return s + 0
+    }
+    return 0
+}
+FNR == 1 { file++ }
+/"name":/ {
+    split($0, parts, "\"")
+    name = parts[4]
+    if (file == 1) {
+        baseNs[name] = num($0, "ns_per_op")
+        baseAllocs[name] = num($0, "allocs_per_op")
+    } else {
+        curNs[name] = num($0, "ns_per_op")
+        curAllocs[name] = num($0, "allocs_per_op")
+        order[++n] = name
+    }
+}
+END {
+    printf "%-42s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "cur ns/op", "ns delta", "allocs"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name in baseNs && baseNs[name] > 0) {
+            dAllocs = "="
+            if (baseAllocs[name] > 0)
+                dAllocs = sprintf("%+.0f%%", (curAllocs[name] - baseAllocs[name]) * 100 / baseAllocs[name])
+            printf "%-42s %14.0f %14.0f %+8.1f%% %9s\n", name, baseNs[name], curNs[name],
+                (curNs[name] - baseNs[name]) * 100 / baseNs[name], dAllocs
+        } else {
+            printf "%-42s %14s %14.0f %9s %9s\n", name, "-", curNs[name], "new", "-"
+        }
+    }
+}
+' "$base" "$cur"
+exit 0

@@ -1,9 +1,19 @@
 #!/bin/sh
 # Captures the top-level benchmark suite (one benchmark per experiment,
-# E1-E15 / A1-A4) as a compact JSON snapshot so future PRs can track the
-# perf trajectory. Usage: scripts/bench_snapshot.sh [out.json] [benchtime]
+# E1-E15 / A1-A4, plus the worker sweeps) as a compact JSON snapshot so
+# future PRs can track the perf trajectory.
+#
+# Usage: scripts/bench_snapshot.sh [out.json | label] [benchtime]
+#
+# The first argument is either a full output path (anything ending in
+# .json) or a bare label: `scripts/bench_snapshot.sh pr3` writes
+# BENCH_pr3.json. Compare two snapshots with scripts/bench_diff.sh.
 set -eu
 out="${1:-BENCH_baseline.json}"
+case "$out" in
+*.json) ;;
+*) out="BENCH_${out}.json" ;;
+esac
 benchtime="${2:-3x}"
 go test -run '^$' -bench . -benchtime "$benchtime" . | tee /dev/stderr | awk -v benchtime="$benchtime" '
 BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime; sep="" }
