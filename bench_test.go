@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/online"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -74,6 +75,7 @@ func BenchmarkE12HardnessReduction(b *testing.B)  { benchExperiment(b, "E12") }
 func BenchmarkE13GapDP(b *testing.B)              { benchExperiment(b, "E13") }
 func BenchmarkE14OnlinePowerDown(b *testing.B)    { benchExperiment(b, "E14") }
 func BenchmarkE15GammaOblivious(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16RollingHorizon(b *testing.B)     { benchExperiment(b, "E16") }
 func BenchmarkA1LazyGreedy(b *testing.B)          { benchExperiment(b, "A1") }
 func BenchmarkA2CandidatePolicy(b *testing.B)     { benchExperiment(b, "A2") }
 func BenchmarkA3IncrementalMatching(b *testing.B) { benchExperiment(b, "A3") }
@@ -121,3 +123,62 @@ func BenchmarkScheduleAllLazyW1(b *testing.B) { benchScheduleAllLazy(b, 1) }
 func BenchmarkScheduleAllLazyW2(b *testing.B) { benchScheduleAllLazy(b, 2) }
 func BenchmarkScheduleAllLazyW4(b *testing.B) { benchScheduleAllLazy(b, 4) }
 func BenchmarkScheduleAllLazyW8(b *testing.B) { benchScheduleAllLazy(b, 8) }
+
+// BenchmarkSessionResolve measures the session's warm re-solve cycle —
+// mutate (add a job), solve, mutate back (remove it), solve — against
+// the same planted instance BenchmarkScheduleAllLazyW1 solves from
+// scratch. The add-side re-solve rides the in-place model extension and
+// the seeded lazy heap; the remove side pays the model rebuild, keeping
+// the number honest about both invalidation paths.
+func BenchmarkSessionResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ins, _ := workload.PlantedSchedule(rng, workload.PlantedParams{
+		Procs: 2, Horizon: 96, IntervalsPerProc: 2, JobsPerInterval: 16,
+		ExtraSlotsPerJob: 2,
+		Cost:             power.Affine{Alpha: 4, Rate: 1},
+	})
+	sess, err := sched.NewSession(ins, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	extra := sched.Job{Value: 1, Allowed: ins.Jobs[0].Allowed}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := sess.AddJob(extra)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.RemoveJob(j); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTrace runs a whole Poisson-burst arrival trace through
+// the rolling-horizon engine per iteration: trace generation, one warm
+// re-solve per event, commitment, and the final report.
+func BenchmarkEngineTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := workload.PoissonBurstTrace(rand.New(rand.NewSource(11)), workload.TraceParams{
+			Procs: 2, Horizon: 64, Jobs: 24, Window: 2,
+		})
+		rep, err := online.RunTrace(tr, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Plan == nil {
+			b.Fatal("no plan")
+		}
+	}
+}

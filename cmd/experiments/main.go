@@ -1,4 +1,4 @@
-// Command experiments regenerates the thesis-validation tables E1–E15 and
+// Command experiments regenerates the thesis-validation tables E1–E16 and
 // ablations A1–A4 (see DESIGN.md §2 for the index and EXPERIMENTS.md for
 // recorded output).
 //

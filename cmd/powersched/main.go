@@ -1,8 +1,9 @@
-// Command powersched solves power-scheduling instances given as JSON and
-// serves them over HTTP.
+// Command powersched solves power-scheduling instances given as JSON,
+// serves them over HTTP, and simulates online rolling-horizon runs.
 //
 //	powersched [solve] [flags] [file]   solve one instance (stdin or file) to stdout
 //	powersched serve [flags]            long-lived JSON-over-HTTP scheduling service
+//	powersched simulate [flags]         rolling-horizon engine over a generated arrival trace
 //
 // Instance schema (shared by solve, /v1/schedule, and /v1/batch entries):
 //
@@ -26,7 +27,13 @@
 // -probe-workers (default per-request greedy parallelism for requests
 // whose spec leaves "workers" unset). The server drains gracefully on
 // SIGINT/SIGTERM: in-flight and queued requests are answered, new ones
-// are refused with 503.
+// are refused with 503. Session endpoints (/v1/session …) expose the
+// mutable solver-session lifecycle.
+//
+// Simulate flags: -trace poisson|diurnal|frontloaded, -procs, -horizon,
+// -jobs, -window, -seed, -alpha, -rate, -workers. The run is
+// deterministic per seed; the JSON report compares the committed online
+// schedule against the clairvoyant offline solve of the same trace.
 package main
 
 import (
@@ -37,13 +44,18 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/online"
+	"repro/internal/power"
+	"repro/internal/sched"
 	"repro/internal/service"
+	"repro/internal/workload"
 )
 
 func run(in io.Reader, out io.Writer, workers int) error {
@@ -92,6 +104,7 @@ func serveMain(args []string) error {
 	queue := fs.Int("queue", 0, "request queue depth (0 = 4×workers); a full queue blocks submitters")
 	cache := fs.Int("cache", 0, "result cache entries (0 = 256, negative disables)")
 	probeWorkers := fs.Int("probe-workers", 0, "default per-request greedy parallelism when the spec leaves \"workers\" unset (0 = serial requests)")
+	maxSessions := fs.Int("max-sessions", 0, "live solver-session cap (0 = 1024, negative disables sessions)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +112,7 @@ func serveMain(args []string) error {
 
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, ProbeWorkers: *probeWorkers,
+		MaxSessions: *maxSessions,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHTTPHandler(svc)}
 
@@ -127,12 +141,94 @@ func serveMain(args []string) error {
 	return err
 }
 
+// simulateReport is the JSON output of `powersched simulate`.
+type simulateReport struct {
+	Trace           string                 `json:"trace"`
+	Seed            int64                  `json:"seed"`
+	Procs           int                    `json:"procs"`
+	Horizon         int                    `json:"horizon"`
+	Jobs            int                    `json:"jobs"`
+	Events          int                    `json:"events"`
+	Solves          int                    `json:"solves"`
+	Evals           int64                  `json:"evals"`
+	CommittedCost   float64                `json:"committed_cost"`
+	ClairvoyantCost float64                `json:"clairvoyant_cost"`
+	CostRatio       float64                `json:"cost_ratio"`
+	Served          int                    `json:"served"`
+	Missed          int                    `json:"missed"`
+	Committed       []service.IntervalSpec `json:"committed_intervals"`
+}
+
+func simulateMain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	traceKind := fs.String("trace", "poisson", "arrival trace generator: poisson | diurnal | frontloaded")
+	seed := fs.Int64("seed", 42, "RNG seed (runs are deterministic per seed)")
+	procs := fs.Int("procs", 2, "processors")
+	horizon := fs.Int("horizon", 64, "slotted horizon")
+	jobs := fs.Int("jobs", 24, "total jobs across the trace")
+	window := fs.Int("window", 2, "half-window of each job around its planted slot")
+	alpha := fs.Float64("alpha", 4, "affine wake cost")
+	rate := fs.Float64("rate", 1, "affine per-slot cost")
+	workers := fs.Int("workers", 0, "greedy probe parallelism inside each re-solve")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gens := map[string]func(*rand.Rand, workload.TraceParams) *workload.ArrivalTrace{
+		"poisson":     workload.PoissonBurstTrace,
+		"diurnal":     workload.DiurnalTrace,
+		"frontloaded": workload.FrontLoadedTrace,
+	}
+	gen, ok := gens[*traceKind]
+	if !ok {
+		return fmt.Errorf("unknown trace %q (want poisson, diurnal, or frontloaded)", *traceKind)
+	}
+	params := workload.TraceParams{
+		Procs: *procs, Horizon: *horizon, Jobs: *jobs, Window: *window,
+		Cost: power.Affine{Alpha: *alpha, Rate: *rate},
+	}
+	if err := workload.CheckParams(params); err != nil {
+		return err
+	}
+	tr := gen(rand.New(rand.NewSource(*seed)), params)
+	rep, err := online.RunTrace(tr, sched.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	report := simulateReport{
+		Trace:           *traceKind,
+		Seed:            *seed,
+		Procs:           *procs,
+		Horizon:         *horizon,
+		Jobs:            tr.Jobs(),
+		Events:          len(tr.Events),
+		Solves:          rep.Solves,
+		Evals:           rep.Evals,
+		CommittedCost:   rep.CommittedCost,
+		ClairvoyantCost: rep.Plan.Cost,
+		Served:          rep.Served,
+		Missed:          rep.Missed,
+	}
+	if rep.Plan.Cost > 0 {
+		report.CostRatio = rep.CommittedCost / rep.Plan.Cost
+	}
+	for _, iv := range rep.CommittedIntervals {
+		report.Committed = append(report.Committed, service.IntervalSpec{
+			Proc: iv.Proc, Start: iv.Start, End: iv.End,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
 func main() {
 	args := os.Args[1:]
 	var err error
 	switch {
 	case len(args) > 0 && args[0] == "serve":
 		err = serveMain(args[1:])
+	case len(args) > 0 && args[0] == "simulate":
+		err = simulateMain(args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "solve":
 		err = solveMain(args[1:])
 	default:

@@ -195,3 +195,38 @@ func TestServeMainRejectsBadFlags(t *testing.T) {
 		t.Fatal("accepted unknown flag")
 	}
 }
+
+func TestSimulateDeterministicReport(t *testing.T) {
+	runSim := func() simulateReport {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := simulateMain([]string{"-trace", "diurnal", "-jobs", "10", "-horizon", "32", "-seed", "7"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var rep simulateReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatalf("simulate output not valid JSON: %v\n%s", err, buf.String())
+		}
+		return rep
+	}
+	a, b := runSim(), runSim()
+	if a.Jobs != 10 || a.Events == 0 || a.Solves != a.Events {
+		t.Fatalf("report shape off: %+v", a)
+	}
+	if a.Served+a.Missed != a.Jobs {
+		t.Fatalf("served %d + missed %d != %d", a.Served, a.Missed, a.Jobs)
+	}
+	if a.ClairvoyantCost <= 0 || a.CommittedCost <= 0 || len(a.Committed) == 0 {
+		t.Fatalf("costs/intervals missing: %+v", a)
+	}
+	if a.CommittedCost != b.CommittedCost || a.Evals != b.Evals || len(a.Committed) != len(b.Committed) {
+		t.Fatalf("simulate is not deterministic per seed: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateRejectsUnknownTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simulateMain([]string{"-trace", "nope"}, &buf); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}

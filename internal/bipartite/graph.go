@@ -63,6 +63,24 @@ func (g *Graph) AddEdge(x, y int) {
 	g.edges++
 }
 
+// AddX appends a new isolated X vertex and returns its index. Growing a
+// graph is only safe between algorithm runs: live Matcher/WeightedMatcher
+// engines size their internal arrays at construction and must be rebuilt
+// after the graph changes.
+func (g *Graph) AddX() int {
+	g.adjX = append(g.adjX, nil)
+	g.nx++
+	return g.nx - 1
+}
+
+// AddY appends a new isolated Y vertex and returns its index. See AddX
+// for the rebuild caveat.
+func (g *Graph) AddY() int {
+	g.adjY = append(g.adjY, nil)
+	g.ny++
+	return g.ny - 1
+}
+
 // NX returns the number of X vertices.
 func (g *Graph) NX() int { return g.nx }
 

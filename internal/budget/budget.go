@@ -178,6 +178,14 @@ type workspace struct {
 	batchGain  []float64
 	batchRatio []float64
 	batchOK    []bool
+
+	// Initial-gain recording for Stepwise warm starts: while recordZero
+	// is set (no pick made yet), every probe's capped gain against the
+	// initial base set is noted per subset. Parallel phases write
+	// distinct indices, so the slices need no locking.
+	recordZero bool
+	zeroGain   []float64
+	zeroSeen   []bool
 }
 
 // newWorkspace resolves options against the problem and allocates all
@@ -221,7 +229,9 @@ func newWorkspace(f submodular.Function, p Problem, opts Options) *workspace {
 
 // markPicked records the chosen subset for deferred replay on the oracle
 // replicas. The caller updates cur itself (both paths need the union).
+// Probes stop counting as initial-state gains from here on.
 func (ws *workspace) markPicked(i int) {
+	ws.recordZero = false
 	if ws.replicas != nil {
 		ws.pending = ws.itemsOf[i]
 	}
@@ -267,6 +277,10 @@ func (ws *workspace) probe(w, i int, base, curU float64, subsets []Subset) (gain
 		v = math.Min(ws.x, evalUnion(ws.f, ws.scratch[w], ws.cur, subsets[i].Items))
 	}
 	gain = v - curU
+	if ws.recordZero {
+		ws.zeroGain[i] = gain
+		ws.zeroSeen[i] = true
+	}
 	if gain <= tol {
 		return 0, 0, false
 	}
@@ -592,67 +606,9 @@ func (ws *workspace) revalidate(h *lazyHeap, batch []lazyEntry, subsets []Subset
 // Workers−1 entries that serial evaluation would have skipped, so Evals
 // can exceed the serial count slightly.
 func LazyGreedy(p Problem, opts Options) (*Result, error) {
-	if err := validate(p, opts); err != nil {
+	s, err := NewStepwise(p, opts, nil)
+	if err != nil {
 		return nil, err
 	}
-	f := submodular.NewCounting(p.F)
-	x := p.Threshold
-	target := (1 - opts.Eps) * x
-
-	ws := newWorkspace(f, p, opts)
-	cur := ws.cur
-	curU := math.Min(x, ws.utility())
-	res := &Result{Union: cur}
-
-	round := 0
-	h := ws.initHeap(p.Subsets, curU)
-	batch := make([]lazyEntry, 0, 8*ws.workers)
-
-	for curU < target-tol {
-		var pick lazyEntry
-		found := false
-		// Batch size ramps from Workers to 8×Workers within one cascade:
-		// short cascades stay close to serial probe counts, long ones
-		// amortize the fork/join cost of a revalidation phase over more
-		// probes. Serial runs (workers == 1) keep batches of one, i.e.
-		// the classical pop-one/re-probe loop with identical Evals.
-		batchCap := ws.workers
-		for len(h) > 0 {
-			if h[0].round == round {
-				pick = h.pop()
-				found = true
-				break
-			}
-			// Stale prefix: entries below the first fresh top have bound
-			// ≤ its ratio and stay untouched, exactly as in serial lazy
-			// evaluation; a batch merely revalidates several mandatory
-			// re-probes at once (plus at most batchCap−1 speculative
-			// ones at the cascade's end).
-			batch = batch[:0]
-			for len(h) > 0 && h[0].round != round && len(batch) < batchCap {
-				batch = append(batch, h.pop())
-			}
-			ws.revalidate(&h, batch, p.Subsets, curU, round)
-			if ws.workers > 1 && batchCap < 8*ws.workers {
-				batchCap *= 2
-			}
-		}
-		if !found {
-			res.Utility = ws.utility()
-			res.Evals = f.Calls()
-			return res, fmt.Errorf("%w: stuck at utility %g of %g", ErrInfeasible, curU, x)
-		}
-		ws.markPicked(pick.idx)
-		cur.UnionWith(p.Subsets[pick.idx].Items)
-		curU += pick.gain
-		round++
-		res.Chosen = append(res.Chosen, pick.idx)
-		res.Cost += p.Subsets[pick.idx].Cost
-		res.Trace = append(res.Trace, Step{
-			Subset: pick.idx, Gain: pick.gain, Ratio: pick.ratio, Cost: res.Cost, Utility: curU,
-		})
-	}
-	res.Utility = ws.utility()
-	res.Evals = f.Calls()
-	return res, nil
+	return s.Solve()
 }

@@ -25,6 +25,8 @@ type Report struct {
 	Greedy    *sched.Schedule // ScheduleAll with from-scratch oracles (PlainOracle)
 	Lazy      *sched.Schedule // lazy-evaluation variant
 	Fast      *sched.Schedule // incremental-matcher oracle (the default path)
+	Parallel  *sched.Schedule // Workers>1 sharded-replica greedy
+	Session   *sched.Schedule // session replay: jobs arrive one by one, warm re-solves
 	AlwaysOn  *sched.Schedule
 	PerJob    *sched.Schedule
 	MergeGaps *sched.Schedule
@@ -48,6 +50,14 @@ func SolveAll(ins *sched.Instance, exactLimit int) (*Report, error) {
 	if r.Fast, err = sched.ScheduleAll(ins, sched.Options{}); err != nil {
 		return nil, fmt.Errorf("core: fast: %w", err)
 	}
+	// Workers > 1: the parallel sharded-replica greedy must land on the
+	// same schedule end to end, not only in the package tests.
+	if r.Parallel, err = sched.ScheduleAll(ins, sched.Options{Lazy: true, Workers: 4}); err != nil {
+		return nil, fmt.Errorf("core: parallel: %w", err)
+	}
+	if r.Session, err = sessionReplay(ins); err != nil {
+		return nil, fmt.Errorf("core: session replay: %w", err)
+	}
 	if r.AlwaysOn, err = schedexact.AlwaysOn(ins); err != nil {
 		return nil, fmt.Errorf("core: always-on: %w", err)
 	}
@@ -68,6 +78,33 @@ func SolveAll(ins *sched.Instance, exactLimit int) (*Report, error) {
 	return r, nil
 }
 
+// sessionReplay rebuilds ins through a full mutation trace — a session
+// opened on the empty instance, every job added as if arriving online,
+// with a warm re-solve at the halfway point — and returns the final
+// solve. SolveAll cross-checks it byte-identical against the from-scratch
+// Fast schedule, exercising the session's targeted invalidation and the
+// warm-started stepwise greedy in the end-to-end self-check.
+func sessionReplay(ins *sched.Instance) (*sched.Schedule, error) {
+	empty := &sched.Instance{Procs: ins.Procs, Horizon: ins.Horizon, Cost: ins.Cost}
+	sess, err := sched.NewSession(empty, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for j, job := range ins.Jobs {
+		if _, err := sess.AddJob(job); err != nil {
+			return nil, fmt.Errorf("adding job %d: %w", j, err)
+		}
+		if j == len(ins.Jobs)/2 {
+			// Mid-trace solve primes the warm-start records, so the final
+			// solve below actually takes the warm path.
+			if _, err := sess.Solve(); err != nil {
+				return nil, fmt.Errorf("mid-trace solve: %w", err)
+			}
+		}
+	}
+	return sess.Solve()
+}
+
 // check validates every schedule and the invariants tying them together.
 func (r *Report) check(ins *sched.Instance) error {
 	named := []struct {
@@ -75,6 +112,7 @@ func (r *Report) check(ins *sched.Instance) error {
 		s    *sched.Schedule
 	}{
 		{"greedy", r.Greedy}, {"lazy", r.Lazy}, {"fast", r.Fast},
+		{"parallel", r.Parallel}, {"session", r.Session},
 		{"always-on", r.AlwaysOn}, {"per-job", r.PerJob},
 		{"merge-gaps", r.MergeGaps}, {"exact", r.Exact},
 	}
@@ -89,10 +127,17 @@ func (r *Report) check(ins *sched.Instance) error {
 			return fmt.Errorf("core: %s scheduled %d of %d", ns.name, ns.s.Scheduled, len(ins.Jobs))
 		}
 	}
-	// All three greedy strategies pick identical interval sequences.
-	if math.Abs(r.Greedy.Cost-r.Lazy.Cost) > 1e-9 || math.Abs(r.Greedy.Cost-r.Fast.Cost) > 1e-9 {
-		return fmt.Errorf("core: greedy variants disagree: plain %g lazy %g fast %g",
-			r.Greedy.Cost, r.Lazy.Cost, r.Fast.Cost)
+	// All greedy strategies pick identical interval sequences.
+	if math.Abs(r.Greedy.Cost-r.Lazy.Cost) > 1e-9 || math.Abs(r.Greedy.Cost-r.Fast.Cost) > 1e-9 ||
+		math.Abs(r.Greedy.Cost-r.Parallel.Cost) > 1e-9 {
+		return fmt.Errorf("core: greedy variants disagree: plain %g lazy %g fast %g parallel %g",
+			r.Greedy.Cost, r.Lazy.Cost, r.Fast.Cost, r.Parallel.Cost)
+	}
+	// The session replay — jobs revealed one at a time, warm re-solves —
+	// must end byte-identical to the from-scratch solve of the final
+	// instance: same intervals, same assignment, not merely same cost.
+	if err := r.Session.SameAs(r.Fast); err != nil {
+		return fmt.Errorf("core: session replay diverged from from-scratch solve: %w", err)
 	}
 	if r.Exact != nil {
 		// Nothing beats the exact optimum; the greedy respects its

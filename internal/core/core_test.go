@@ -74,3 +74,28 @@ func TestSolveAllUnschedulable(t *testing.T) {
 		t.Fatal("unschedulable instance accepted")
 	}
 }
+
+// TestSolveAllNewArmsPopulated pins the PR-4 additions: the Workers>1
+// parallel arm and the session mutation-replay arm are solved and agree
+// with the default path byte for byte.
+func TestSolveAllNewArmsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ins, _ := workload.PlantedSchedule(rng, workload.PlantedParams{
+		Procs: 2, Horizon: 24, IntervalsPerProc: 2, JobsPerInterval: 3,
+		ExtraSlotsPerJob: 1,
+		Cost:             power.Affine{Alpha: 3, Rate: 1},
+	})
+	r, err := SolveAll(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Parallel == nil || r.Session == nil {
+		t.Fatal("parallel/session arms missing from the report")
+	}
+	if err := r.Session.SameAs(r.Fast); err != nil {
+		t.Fatalf("session replay differs: %v", err)
+	}
+	if err := r.Parallel.SameAs(r.Lazy); err != nil {
+		t.Fatalf("parallel differs from lazy: %v", err)
+	}
+}

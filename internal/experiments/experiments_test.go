@@ -259,3 +259,27 @@ func TestA4Shape(t *testing.T) {
 		t.Errorf("default eps left jobs unscheduled: %v", frac)
 	}
 }
+
+func TestE16Shape(t *testing.T) {
+	rows := tableFor(t, "E16")
+	if len(rows) != 3 {
+		t.Fatalf("E16 has %d rows, want one per trace family", len(rows))
+	}
+	for r, row := range rows {
+		if cell(t, rows, r, 1) < 2 {
+			t.Fatalf("%s: trace collapsed to %s events", row[0], row[1])
+		}
+		ratio := cell(t, rows, r, 2)
+		if ratio < 0.5 || ratio > 3 {
+			t.Fatalf("%s: committed/clairvoyant = %g outside sanity band", row[0], ratio)
+		}
+		if missed := cell(t, rows, r, 3); missed > 0.25 {
+			t.Fatalf("%s: missed frac %g implausibly high", row[0], missed)
+		}
+		// The acceptance criterion's eval accounting: warm-started
+		// engine re-solves strictly beat cold prefix replays.
+		if ev := cell(t, rows, r, 4); ev <= 0 || ev >= 1 {
+			t.Fatalf("%s: warm/cold evals = %g, want in (0,1)", row[0], ev)
+		}
+	}
+}

@@ -88,6 +88,41 @@ func (m *Model) buildProcIndex() {
 	}
 }
 
+// addJob extends the model in place for a job just appended to the
+// instance's Jobs slice. The extension is equivalent to rebuilding from
+// scratch: NewModel assigns X indices in first-appearance order scanning
+// jobs in order, and an appended job's novel slots appear last in exactly
+// the order addJob appends them; likewise its Y vertex and edges land at
+// the positions a full scan would produce. Sessions rely on this for
+// byte-identical warm re-solves after AddJob. Live matcher oracles over
+// the old graph must not be reused (they are rebuilt per solve).
+func (m *Model) addJob(job Job) {
+	j := m.G.AddY()
+	seen := map[SlotKey]bool{}
+	for _, sk := range job.Allowed {
+		if seen[sk] {
+			continue
+		}
+		seen[sk] = true
+		idx, ok := m.SlotIndex[sk]
+		if !ok {
+			idx = m.G.AddX()
+			m.SlotIndex[sk] = idx
+			m.Slots = append(m.Slots, sk)
+			// Keep the per-processor sorted views sorted: (proc, time) is
+			// new, so the time is absent from this processor's list.
+			times := m.timesByProc[sk.Proc]
+			pos := sort.SearchInts(times, sk.Time)
+			m.timesByProc[sk.Proc] = append(times[:pos], append([]int{sk.Time}, times[pos:]...)...)
+			xs := m.slotsByProc[sk.Proc]
+			m.slotsByProc[sk.Proc] = append(xs[:pos], append([]int{idx}, xs[pos:]...)...)
+		}
+		m.G.AddEdge(idx, j)
+	}
+	m.Values = append(m.Values, job.Value)
+	m.Order = bipartite.WeightedOrder(m.Values)
+}
+
 // Candidates enumerates candidate awake intervals under the policy.
 func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
 	switch policy {

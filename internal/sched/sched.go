@@ -169,6 +169,39 @@ func (e *UnschedulableError) Error() string {
 // Unwrap makes errors.Is(err, ErrUnschedulable) succeed.
 func (e *UnschedulableError) Unwrap() error { return ErrUnschedulable }
 
+// SameAs reports whether two schedules are identical decision for
+// decision — the interval sequence, the per-job assignment, and the
+// totals all match (Cost and Value to 1e-9, since different solve paths
+// may sum the same terms in different orders). Evals is ignored: warm
+// and cold re-solves legitimately spend different probe counts for the
+// same answer. A nil error means identical; otherwise the error names
+// the first divergence. The differential self-checks (core.SolveAll,
+// the session and engine tests) all compare through this one helper.
+func (s *Schedule) SameAs(other *Schedule) error {
+	if len(s.Intervals) != len(other.Intervals) {
+		return fmt.Errorf("sched: %d vs %d intervals", len(s.Intervals), len(other.Intervals))
+	}
+	for i := range s.Intervals {
+		if s.Intervals[i] != other.Intervals[i] {
+			return fmt.Errorf("sched: interval %d: %v vs %v", i, s.Intervals[i], other.Intervals[i])
+		}
+	}
+	if len(s.Assignment) != len(other.Assignment) {
+		return fmt.Errorf("sched: %d vs %d assignments", len(s.Assignment), len(other.Assignment))
+	}
+	for j := range s.Assignment {
+		if s.Assignment[j] != other.Assignment[j] {
+			return fmt.Errorf("sched: job %d: %+v vs %+v", j, s.Assignment[j], other.Assignment[j])
+		}
+	}
+	if math.Abs(s.Cost-other.Cost) > 1e-9 || math.Abs(s.Value-other.Value) > 1e-9 ||
+		s.Scheduled != other.Scheduled {
+		return fmt.Errorf("sched: totals (%g,%g,%d) vs (%g,%g,%d)",
+			s.Cost, s.Value, s.Scheduled, other.Cost, other.Value, other.Scheduled)
+	}
+	return nil
+}
+
 // check validates instance fields shared by all algorithms.
 func (ins *Instance) check() error {
 	if ins.Procs <= 0 {

@@ -26,49 +26,77 @@ func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
 // per-processor slot indexes; the method itself does not mutate the model,
 // but a Model must not be shared between goroutines running concurrently.
 func (m *Model) ScheduleAll(opts Options) (*Schedule, error) {
-	model, ins := m, m.Ins
-	n := len(ins.Jobs)
+	n := len(m.Ins.Jobs)
 	if n == 0 {
 		return &Schedule{Assignment: []SlotKey{}}, nil
 	}
-	cands, err := model.buildCandidates(opts.Policy, opts.Extra)
+	in, err := m.scheduleAllInput(opts)
+	if err != nil {
+		return nil, err
+	}
+	run := budget.Greedy
+	if opts.Lazy {
+		run = budget.LazyGreedy
+	}
+	res, err := run(in.prob, budget.Options{
+		Eps: in.eps, Workers: opts.Workers, Parallel: opts.Parallel, PlainEval: opts.PlainOracle,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sched: greedy failed: %w", err)
+	}
+	return m.finishScheduleAll(opts, in, res)
+}
+
+// solveInput is the prepared greedy problem for one schedule-all run: the
+// priced candidate intervals, the budget problem over them, and the
+// resolved ε. Sessions build it once per (mutation-invalidated) solve and
+// feed it to the warm-started stepwise greedy.
+type solveInput struct {
+	cands []candidate
+	prob  budget.Problem
+	eps   float64
+}
+
+// scheduleAllInput prices candidates, performs the Hall feasibility check
+// over the coverable slots, and assembles Theorem 2.2.1's budget problem.
+func (m *Model) scheduleAllInput(opts Options) (*solveInput, error) {
+	n := len(m.Ins.Jobs)
+	cands, err := m.buildCandidates(opts.Policy, opts.Extra)
 	if err != nil {
 		return nil, err
 	}
 	// Feasibility over the *coverable* slots: a slot counts only if some
 	// finite-cost candidate interval contains it, so unavailability
 	// (infinite-cost intervals) correctly shrinks the witness.
-	coverable := coverableSlots(model, cands)
-	if full := bipartite.MaxMatchingSize(model.G, coverable); full < n {
-		jobs, slotIdx := bipartite.HallWitness(model.G, coverable)
+	coverable := coverableSlots(m, cands)
+	if full := bipartite.MaxMatchingSize(m.G, coverable); full < n {
+		jobs, slotIdx := bipartite.HallWitness(m.G, coverable)
 		witness := &UnschedulableError{Matched: full, Jobs: jobs}
 		for _, x := range slotIdx {
-			witness.Slots = append(witness.Slots, model.Slots[x])
+			witness.Slots = append(witness.Slots, m.Slots[x])
 		}
 		return nil, witness
 	}
-
 	eps := opts.Eps
 	if eps <= 0 {
 		// Theorem 2.2.1: ε = 1/(n+1) forces the integer utility to reach n.
 		eps = 1 / float64(n+1)
 	}
-	prob := budget.Problem{
-		F:         matchFn{model},
-		Subsets:   budgetSubsets(len(model.Slots), cands),
-		Threshold: float64(n),
-	}
-	run := budget.Greedy
-	if opts.Lazy {
-		run = budget.LazyGreedy
-	}
-	res, err := run(prob, budget.Options{
-		Eps: eps, Workers: opts.Workers, Parallel: opts.Parallel, PlainEval: opts.PlainOracle,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sched: greedy failed: %w", err)
-	}
-	sched := extractUnweighted(model, res.Union.Elements(), chosenIntervals(cands, res.Chosen))
+	return &solveInput{
+		cands: cands,
+		prob: budget.Problem{
+			F:         matchFn{m},
+			Subsets:   budgetSubsets(len(m.Slots), cands),
+			Threshold: float64(n),
+		},
+		eps: eps,
+	}, nil
+}
+
+// finishScheduleAll extracts the schedule from a completed greedy run.
+func (m *Model) finishScheduleAll(opts Options, in *solveInput, res *budget.Result) (*Schedule, error) {
+	n := len(m.Ins.Jobs)
+	sched := extractUnweighted(m, res.Union.Elements(), chosenIntervals(in.cands, res.Chosen))
 	sched.Evals = res.Evals
 	if sched.Scheduled < n && opts.Eps <= 0 {
 		// With the default ε this is impossible (utility is integral);

@@ -30,16 +30,33 @@ type BatchResponse struct {
 // the decoder buffer unbounded input.
 const MaxRequestBytes = 64 << 20
 
+// SessionResponse is the reply to session create/mutate/info calls.
+type SessionResponse struct {
+	ID     string `json:"id,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// MutateRequest is the /v1/session/{id}/mutate body.
+type MutateRequest struct {
+	Mutations []MutationSpec `json:"mutations"`
+}
+
 // NewHTTPHandler binds svc to the JSON-over-HTTP surface:
 //
-//	POST /v1/schedule  one InstanceSpec in, ScheduleResponse out
-//	POST /v1/batch     BatchRequest in, BatchResponse out
-//	GET  /healthz      liveness
-//	GET  /stats        Stats counters
+//	POST   /v1/schedule            one InstanceSpec in, ScheduleResponse out
+//	POST   /v1/batch               BatchRequest in, BatchResponse out
+//	POST   /v1/session             InstanceSpec in, SessionResponse{id,digest} out
+//	POST   /v1/session/{id}/mutate MutateRequest in, SessionResponse{digest} out
+//	POST   /v1/session/{id}/solve  ScheduleResponse out (digest-cached)
+//	GET    /v1/session/{id}        SessionInfo out
+//	DELETE /v1/session/{id}        drop the session
+//	GET    /healthz                liveness
+//	GET    /stats                  Stats counters
 //
 // Infeasible instances (unschedulable, value unreachable) answer 422 with
-// the error in the body; malformed requests answer 400; a draining
-// service answers 503.
+// the error in the body; malformed requests answer 400; unknown session
+// ids answer 404; a draining service answers 503.
 func NewHTTPHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
@@ -79,6 +96,52 @@ func NewHTTPHandler(svc *Service) http.Handler {
 		}
 		// Per-request failures live inside each entry; the envelope is 200.
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /v1/session", func(w http.ResponseWriter, r *http.Request) {
+		var spec InstanceSpec
+		if err := decodeBody(w, r, &spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, SessionResponse{Error: err.Error()})
+			return
+		}
+		id, digest, err := svc.CreateSession(spec)
+		if err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest})
+	})
+	mux.HandleFunc("POST /v1/session/{id}/mutate", func(w http.ResponseWriter, r *http.Request) {
+		var body MutateRequest
+		if err := decodeBody(w, r, &body); err != nil {
+			writeJSON(w, http.StatusBadRequest, SessionResponse{Error: err.Error()})
+			return
+		}
+		id := r.PathValue("id")
+		digest, err := svc.MutateSession(id, body.Mutations)
+		if err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{ID: id, Digest: digest, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest})
+	})
+	mux.HandleFunc("POST /v1/session/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
+		res := svc.SolveSession(r.PathValue("id"))
+		writeJSON(w, statusFor(res.Err), toResponse(res))
+	})
+	mux.HandleFunc("GET /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.SessionInfo(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.DropSession(r.PathValue("id")); err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionResponse{ID: r.PathValue("id")})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -121,6 +184,10 @@ func statusFor(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoSession):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}

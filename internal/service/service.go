@@ -83,6 +83,12 @@ type Config struct {
 	// raise it to trade throughput for per-request latency. Worker counts
 	// never change the computed schedule.
 	ProbeWorkers int
+	// MaxSessions bounds the live solver sessions (default 1024;
+	// negative disables sessions entirely). Each session holds a full
+	// model plus warm-start state, so an unbounded registry would let
+	// clients that never DELETE grow the process without limit;
+	// CreateSession refuses past the cap until sessions are dropped.
+	MaxSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.ModelsPerWorker == 0 {
 		c.ModelsPerWorker = 8
 	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
 	return c
 }
 
@@ -117,6 +126,7 @@ type Stats struct {
 	CacheMisses uint64 `json:"cache_misses"` // solved and cached
 	ModelReuses uint64 `json:"model_reuses"` // worker reused a prebuilt model
 	CacheSize   int    `json:"cache_size"`   // entries currently cached
+	Sessions    int    `json:"sessions"`     // live solver sessions
 }
 
 // ErrClosed is returned by Submit after Close has begun.
@@ -136,6 +146,10 @@ type Service struct {
 	cacheMu sync.Mutex
 	cache   map[string]*list.Element
 	lru     *list.List // front = most recent; values are *cacheEntry
+
+	sessMu   sync.Mutex
+	sessions map[string]*sessionHandle
+	sessSeq  atomic.Uint64
 
 	submitted, completed, errs, canceled atomic.Uint64
 	cacheHits, cacheMisses, modelReuses  atomic.Uint64
@@ -157,10 +171,11 @@ type cacheEntry struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		queue: make(chan *task, cfg.QueueDepth),
-		cache: map[string]*list.Element{},
-		lru:   list.New(),
+		cfg:      cfg,
+		queue:    make(chan *task, cfg.QueueDepth),
+		cache:    map[string]*list.Element{},
+		lru:      list.New(),
+		sessions: map[string]*sessionHandle{},
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -291,6 +306,9 @@ func (s *Service) Stats() Stats {
 	s.cacheMu.Lock()
 	cached := s.lru.Len()
 	s.cacheMu.Unlock()
+	s.sessMu.Lock()
+	liveSessions := len(s.sessions)
+	s.sessMu.Unlock()
 	return Stats{
 		Workers:     s.cfg.Workers,
 		QueueDepth:  len(s.queue),
@@ -303,6 +321,7 @@ func (s *Service) Stats() Stats {
 		CacheMisses: s.cacheMisses.Load(),
 		ModelReuses: s.modelReuses.Load(),
 		CacheSize:   cached,
+		Sessions:    liveSessions,
 	}
 }
 

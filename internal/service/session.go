@@ -1,0 +1,300 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// This file is the session face of the service: long-lived, mutable
+// solver state behind opaque ids. A stateless request (service.go) ships
+// its whole instance every time; a session is created once from an
+// InstanceSpec, then mutated incrementally (MutationSpec) and re-solved.
+// Under the hood each session owns a sched.Session, so re-solves after
+// small mutations are warm-started instead of computed from scratch.
+//
+// Sessions share the service's digest result cache with the stateless
+// path: a solve is keyed by the digest of the session's *current*
+// instance spec, recomputed on every mutation. Mutating a session
+// therefore can never serve a stale cached schedule (the digest moved),
+// while two sessions replaying identical creation + mutation traces hit
+// the same cache entries — the interplay the session tests pin down.
+//
+// Resource controls mirror the stateless path's: the registry is bounded
+// by Config.MaxSessions (CreateSession answers ErrTooManySessions / 429
+// at the cap), and a draining service refuses session work with
+// ErrClosed / 503 across create, mutate, and solve alike. Session solves
+// run on the caller's goroutine under the per-session lock — warm
+// re-solves are cheap by design — rather than through the worker pool,
+// so per-session mutate/solve streams serialize naturally instead of
+// queueing.
+
+// ErrNoSession is returned for unknown or dropped session ids.
+var ErrNoSession = errors.New("service: no such session")
+
+// ErrTooManySessions is returned by CreateSession at the MaxSessions cap.
+var ErrTooManySessions = errors.New("service: session limit reached")
+
+// MutationSpec is one session mutation on the wire. Op selects the
+// variant; exactly the fields that variant needs are read:
+//
+//	{"op": "add_job", "job": {...}}          append a job (value 0 → 1)
+//	{"op": "remove_job", "index": 3}         delete job 3 (later jobs shift)
+//	{"op": "block", "slot": {"proc":0,"time":5}}  mask a slot unavailable
+//	{"op": "advance_horizon", "horizon": 48} grow the horizon
+type MutationSpec struct {
+	Op      string    `json:"op"`
+	Job     *JobSpec  `json:"job,omitempty"`
+	Index   int       `json:"index,omitempty"`
+	Slot    *SlotSpec `json:"slot,omitempty"`
+	Horizon int       `json:"horizon,omitempty"`
+}
+
+// sessionHandle is one live session: the solver state plus the canonical
+// spec whose digest keys the result cache. The mutex serializes mutations
+// and solves (sched.Session is single-threaded by contract).
+type sessionHandle struct {
+	mu     sync.Mutex
+	sess   *sched.Session
+	spec   InstanceSpec
+	digest string
+	opts   sched.Options
+}
+
+// CreateSession opens a session from a wire spec and returns its id and
+// the digest of its (initial) instance. Sessions solve with ScheduleAll
+// semantics: specs selecting a prize mode or the Improve pass are
+// rejected. The ProbeWorkers default applies as on the stateless path.
+func (s *Service) CreateSession(spec InstanceSpec) (id, digest string, err error) {
+	if err := s.sessionsOpen(); err != nil {
+		return "", "", err
+	}
+	if s.cfg.MaxSessions < 0 {
+		return "", "", errors.New("service: sessions disabled (MaxSessions < 0)")
+	}
+	if spec.Mode != "" && spec.Mode != "all" {
+		return "", "", fmt.Errorf("service: sessions solve mode \"all\", got %q", spec.Mode)
+	}
+	if spec.Improve {
+		return "", "", errors.New("service: sessions do not support the improve pass")
+	}
+	req, err := BuildRequest(spec)
+	if err != nil {
+		return "", "", err
+	}
+	if req.Opts.Workers == 0 && s.cfg.ProbeWorkers > 0 {
+		req.Opts.Workers = s.cfg.ProbeWorkers
+	}
+	sess, err := sched.NewSession(req.Instance, req.Opts)
+	if err != nil {
+		return "", "", err
+	}
+	// Own every slice a mutation appends to: the jobs list and the cost
+	// chain's blocked lists. Without the copy, two sessions created from
+	// one caller-built spec could share a backing array and a "block"
+	// append in one would corrupt the other's spec — and therefore the
+	// digest its cached schedules are keyed by.
+	spec.Jobs = append([]JobSpec(nil), spec.Jobs...)
+	spec.Cost = cloneCostSpec(spec.Cost)
+	h := &sessionHandle{
+		sess:   sess,
+		spec:   spec,
+		digest: req.InstanceKey,
+		opts:   req.Opts,
+	}
+	id = fmt.Sprintf("s%06d", s.sessSeq.Add(1))
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		return "", "", fmt.Errorf("%w: %d live", ErrTooManySessions, s.cfg.MaxSessions)
+	}
+	s.sessions[id] = h
+	s.sessMu.Unlock()
+	return id, h.digest, nil
+}
+
+// sessionsOpen reports whether the service still accepts session work —
+// a draining service refuses mutations and solves too, matching the
+// stateless path's 503 contract.
+func (s *Service) sessionsOpen() error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// cloneCostSpec deep-copies the mutable parts of a cost spec (the
+// blocked-slot lists down the base chain); scalar fields copy by value.
+func cloneCostSpec(c CostSpec) CostSpec {
+	c.Blocked = append([]SlotSpec(nil), c.Blocked...)
+	if c.Base != nil {
+		base := cloneCostSpec(*c.Base)
+		c.Base = &base
+	}
+	return c
+}
+
+func (s *Service) session(id string) (*sessionHandle, error) {
+	s.sessMu.Lock()
+	h, ok := s.sessions[id]
+	s.sessMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	return h, nil
+}
+
+// MutateSession applies the mutations in order and returns the digest of
+// the session's new instance. On error the session reflects the
+// successfully applied prefix (and the returned digest matches it) —
+// mutations are not transactional.
+func (s *Service) MutateSession(id string, muts []MutationSpec) (digest string, err error) {
+	if err := s.sessionsOpen(); err != nil {
+		return "", err
+	}
+	h, err := s.session(id)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, m := range muts {
+		if err := h.apply(m); err != nil {
+			h.digest = InstanceDigest(h.spec)
+			return h.digest, fmt.Errorf("service: mutation %d (%s): %w", i, m.Op, err)
+		}
+	}
+	h.digest = InstanceDigest(h.spec)
+	return h.digest, nil
+}
+
+// apply performs one mutation on both the solver session and the
+// canonical spec, keeping them describing the same instance.
+func (h *sessionHandle) apply(m MutationSpec) error {
+	switch m.Op {
+	case "add_job":
+		if m.Job == nil {
+			return errors.New("missing job")
+		}
+		job := sched.Job{Value: m.Job.Value}
+		if job.Value == 0 {
+			job.Value = 1 // the BuildRequest default, mirrored
+		}
+		for _, sl := range m.Job.Allowed {
+			job.Allowed = append(job.Allowed, sched.SlotKey{Proc: sl.Proc, Time: sl.Time})
+		}
+		if _, err := h.sess.AddJob(job); err != nil {
+			return err
+		}
+		h.spec.Jobs = append(h.spec.Jobs, *m.Job)
+		return nil
+	case "remove_job":
+		if err := h.sess.RemoveJob(m.Index); err != nil {
+			return err
+		}
+		h.spec.Jobs = append(h.spec.Jobs[:m.Index:m.Index], h.spec.Jobs[m.Index+1:]...)
+		return nil
+	case "block":
+		if m.Slot == nil {
+			return errors.New("missing slot")
+		}
+		if err := h.sess.SetUnavailable(m.Slot.Proc, m.Slot.Time); err != nil {
+			return err
+		}
+		if h.spec.Cost.Model == "unavailable" {
+			h.spec.Cost.Blocked = append(h.spec.Cost.Blocked, *m.Slot)
+		} else {
+			base := h.spec.Cost
+			h.spec.Cost = CostSpec{Model: "unavailable", Base: &base, Blocked: []SlotSpec{*m.Slot}}
+		}
+		return nil
+	case "advance_horizon":
+		if err := h.sess.AdvanceHorizon(m.Horizon); err != nil {
+			return err
+		}
+		h.spec.Horizon = m.Horizon
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", m.Op)
+	}
+}
+
+// SolveSession solves the session's current instance. Identical content
+// (same digest, same options) is answered from the shared result cache —
+// stateless requests for the same instance share the entries — and a
+// mutated session always re-solves, because its digest moved with the
+// mutation. Cache misses are solved warm on the session and cached.
+func (s *Service) SolveSession(id string) Result {
+	if err := s.sessionsOpen(); err != nil {
+		return Result{Err: err}
+	}
+	h, err := s.session(id)
+	if err != nil {
+		return Result{Err: err}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.submitted.Add(1)
+	key := cacheKey(Request{InstanceKey: h.digest, Mode: ModeAll, Opts: h.opts})
+	if hit, ok := s.cacheGet(key); ok {
+		s.completed.Add(1)
+		s.cacheHits.Add(1)
+		return Result{Schedule: hit, CacheHit: true}
+	}
+	out, err := h.sess.Solve()
+	s.completed.Add(1)
+	if err != nil {
+		s.errs.Add(1)
+		return Result{Err: err}
+	}
+	s.cacheMisses.Add(1)
+	s.cachePut(key, out)
+	return Result{Schedule: out}
+}
+
+// SessionInfo is a point-in-time snapshot of one session.
+type SessionInfo struct {
+	ID      string `json:"id"`
+	Digest  string `json:"digest"`
+	Jobs    int    `json:"jobs"`
+	Horizon int    `json:"horizon"`
+	Solves  int    `json:"solves"`
+	Warm    int    `json:"warm_solves"`
+	Evals   int64  `json:"evals"`
+}
+
+// SessionInfo reports a session's current shape and solve accounting.
+func (s *Service) SessionInfo(id string) (SessionInfo, error) {
+	h, err := s.session(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	solves, warm, _ := h.sess.Stats()
+	return SessionInfo{
+		ID:      id,
+		Digest:  h.digest,
+		Jobs:    h.sess.Jobs(),
+		Horizon: h.sess.Horizon(),
+		Solves:  solves,
+		Warm:    warm,
+		Evals:   h.sess.TotalEvals(),
+	}, nil
+}
+
+// DropSession discards a session. Cached results survive: they are keyed
+// by content digest, not by session.
+func (s *Service) DropSession(id string) error {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	delete(s.sessions, id)
+	return nil
+}

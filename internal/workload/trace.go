@@ -1,0 +1,295 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// ArrivalEvent is one step of an online trace: at slot At, Jobs reveal
+// themselves to the scheduler. Every job's allowed slots lie at or after
+// At — an arrival cannot demand the past.
+type ArrivalEvent struct {
+	At   int
+	Jobs []sched.Job
+}
+
+// ArrivalTrace is an online scheduling workload: instance dimensions, a
+// cost model, and a time-ordered sequence of arrival events. Traces built
+// by the generators in this file are feasible at every prefix: each job
+// carries a planted anchor slot distinct from every other job's, so a
+// perfect assignment exists no matter where the trace is truncated.
+type ArrivalTrace struct {
+	Procs   int
+	Horizon int
+	Cost    power.CostModel
+	Events  []ArrivalEvent
+}
+
+// Jobs returns the total number of jobs across all events.
+func (tr *ArrivalTrace) Jobs() int {
+	n := 0
+	for _, ev := range tr.Events {
+		n += len(ev.Jobs)
+	}
+	return n
+}
+
+// InstancePrefix builds the offline instance revealed by the first k
+// events — jobs in arrival order, exactly as a session fed by the trace
+// would hold them.
+func (tr *ArrivalTrace) InstancePrefix(k int) *sched.Instance {
+	ins := &sched.Instance{Procs: tr.Procs, Horizon: tr.Horizon, Cost: tr.Cost}
+	for _, ev := range tr.Events[:k] {
+		ins.Jobs = append(ins.Jobs, ev.Jobs...)
+	}
+	return ins
+}
+
+// FinalInstance is the clairvoyant instance: every job of the trace.
+func (tr *ArrivalTrace) FinalInstance() *sched.Instance {
+	return tr.InstancePrefix(len(tr.Events))
+}
+
+// Validate checks the trace's structural invariants: events strictly
+// increasing in At within the horizon, at least one job per event, and
+// every allowed slot inside the instance and not before its arrival.
+func (tr *ArrivalTrace) Validate() error {
+	if tr.Procs <= 0 || tr.Horizon <= 0 {
+		return fmt.Errorf("workload: trace dimensions %d procs × %d horizon", tr.Procs, tr.Horizon)
+	}
+	prev := -1
+	for i, ev := range tr.Events {
+		if ev.At <= prev || ev.At >= tr.Horizon {
+			return fmt.Errorf("workload: event %d at %d (previous %d, horizon %d)", i, ev.At, prev, tr.Horizon)
+		}
+		prev = ev.At
+		if len(ev.Jobs) == 0 {
+			return fmt.Errorf("workload: event %d has no jobs", i)
+		}
+		for j, job := range ev.Jobs {
+			if len(job.Allowed) == 0 {
+				return fmt.Errorf("workload: event %d job %d has no allowed slots", i, j)
+			}
+			for _, s := range job.Allowed {
+				if s.Proc < 0 || s.Proc >= tr.Procs || s.Time < ev.At || s.Time >= tr.Horizon {
+					return fmt.Errorf("workload: event %d job %d slot %+v outside [at=%d, horizon=%d)",
+						i, j, s, ev.At, tr.Horizon)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TraceParams controls the arrival-trace generators.
+type TraceParams struct {
+	Procs   int
+	Horizon int
+	Jobs    int
+	// Window bounds each job's half-window around its planted anchor
+	// slot (0 = anchor-only jobs). Windows are clipped to the arrival
+	// time and the horizon.
+	Window int
+	// Cost defaults to power.Affine{Alpha: 4, Rate: 1}.
+	Cost power.CostModel
+}
+
+func (p TraceParams) withDefaults() TraceParams {
+	if p.Cost == nil {
+		p.Cost = power.Affine{Alpha: 4, Rate: 1}
+	}
+	return p
+}
+
+// CheckParams validates trace-generator parameters, returning the error
+// the generators panic with. Callers turning user input into params (the
+// simulate CLI) check here first for a clean error instead of a crash.
+func CheckParams(p TraceParams) error {
+	switch {
+	case p.Procs <= 0 || p.Horizon <= 0 || p.Jobs <= 0:
+		return fmt.Errorf("workload: trace params %d procs × %d horizon × %d jobs, want all > 0",
+			p.Procs, p.Horizon, p.Jobs)
+	case p.Window < 0:
+		return fmt.Errorf("workload: trace Window = %d, want >= 0", p.Window)
+	case p.Jobs > p.Procs*(p.Horizon-arrivalCap(p.Horizon)):
+		// Feasibility cap: arrivals are confined to [0, arrivalCap), so
+		// every arrival sees at least Procs × (Horizon − arrivalCap)
+		// slots at or after it — enough distinct anchors for all jobs
+		// even if every earlier job anchored in that same tail. A looser
+		// cap can strand a late burst with no free future slot.
+		return fmt.Errorf("workload: %d jobs exceed the %d anchor slots guaranteed after the last arrival (%d procs × horizon %d)",
+			p.Jobs, p.Procs*(p.Horizon-arrivalCap(p.Horizon)), p.Procs, p.Horizon)
+	}
+	return nil
+}
+
+func (p TraceParams) check() {
+	if err := CheckParams(p); err != nil {
+		panic(err.Error())
+	}
+}
+
+// plantTrace turns sorted arrival times into a feasible trace: each job
+// claims a distinct free anchor (processor, slot) at or after its
+// arrival, and its window spans up to ±width slots around the anchor on
+// the same processor (clipped to [arrival, horizon)). The planted anchors
+// form a system of distinct representatives, so every prefix instance
+// admits a perfect assignment.
+func plantTrace(rng *rand.Rand, p TraceParams, arrivals []int, width func(i int) int) *ArrivalTrace {
+	p = p.withDefaults()
+	p.check()
+	sort.Ints(arrivals)
+	used := make([][]bool, p.Procs)
+	for i := range used {
+		used[i] = make([]bool, p.Horizon)
+	}
+	tr := &ArrivalTrace{Procs: p.Procs, Horizon: p.Horizon, Cost: p.Cost}
+	for i, at := range arrivals {
+		if at >= p.Horizon {
+			at = p.Horizon - 1
+		}
+		if at < 0 {
+			at = 0
+		}
+		proc, slot := pickAnchor(rng, used, at)
+		used[proc][slot] = true
+		w := width(i)
+		lo := max(at, slot-w)
+		hi := min(p.Horizon, slot+w+1)
+		job := sched.Job{Value: 1}
+		for t := lo; t < hi; t++ {
+			job.Allowed = append(job.Allowed, sched.SlotKey{Proc: proc, Time: t})
+		}
+		if n := len(tr.Events); n > 0 && tr.Events[n-1].At == at {
+			tr.Events[n-1].Jobs = append(tr.Events[n-1].Jobs, job)
+		} else {
+			tr.Events = append(tr.Events, ArrivalEvent{At: at, Jobs: []sched.Job{job}})
+		}
+	}
+	return tr
+}
+
+// pickAnchor finds a free (processor, slot) with slot >= at: a few random
+// samples, then a deterministic scan. CheckParams guarantees a free slot
+// exists: arrivals stay below arrivalCap, so every arrival sees at least
+// Procs × (Horizon − arrivalCap) slots at or after it, and job count is
+// capped by exactly that number.
+func pickAnchor(rng *rand.Rand, used [][]bool, at int) (proc, slot int) {
+	procs, horizon := len(used), len(used[0])
+	span := horizon - at
+	for try := 0; try < 16; try++ {
+		p, s := rng.Intn(procs), at+rng.Intn(span)
+		if !used[p][s] {
+			return p, s
+		}
+	}
+	off := rng.Intn(span)
+	for d := 0; d < span; d++ {
+		s := at + (off+d)%span
+		for p := 0; p < procs; p++ {
+			if !used[p][s] {
+				return p, s
+			}
+		}
+	}
+	// Unreachable: CheckParams bounds Jobs by the free slots guaranteed
+	// at or after the latest possible arrival.
+	panic(fmt.Sprintf("workload: no free slot at or after %d — feasibility cap violated", at))
+}
+
+// arrivalCap keeps arrival times in the first ¾ of the horizon so late
+// arrivals still find free future anchors.
+func arrivalCap(horizon int) int {
+	c := 3 * horizon / 4
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PoissonBurstTrace generates arrivals in bursts at exponentially spaced
+// event times: memoryless gaps, 1–3 jobs per burst. The classic "traffic
+// comes in clumps" regime for rolling-horizon re-solving.
+func PoissonBurstTrace(rng *rand.Rand, p TraceParams) *ArrivalTrace {
+	p.check()
+	last := arrivalCap(p.Horizon)
+	// Expected bursts ≈ Jobs/2, spread over the arrival window.
+	meanGap := float64(last) / (float64(p.Jobs)/2 + 1)
+	arrivals := make([]int, 0, p.Jobs)
+	t := 0.0
+	for len(arrivals) < p.Jobs {
+		at := int(t)
+		if at >= last {
+			at = last - 1
+		}
+		burst := 1 + rng.Intn(3)
+		for b := 0; b < burst && len(arrivals) < p.Jobs; b++ {
+			arrivals = append(arrivals, at)
+		}
+		t += rng.ExpFloat64() * meanGap
+		if t < float64(at)+1 {
+			t = float64(at) + 1
+		}
+	}
+	return plantTrace(rng, p, arrivals, func(int) int { return p.Window })
+}
+
+// DiurnalTrace draws each job's arrival from a two-peak daily intensity
+// curve (the MarketTrace shape): quiet nights, morning and evening rush.
+func DiurnalTrace(rng *rand.Rand, p TraceParams) *ArrivalTrace {
+	p.check()
+	last := arrivalCap(p.Horizon)
+	weights := make([]float64, last)
+	total := 0.0
+	for t := range weights {
+		x := float64(t) / float64(last)
+		morning := 6 * math.Exp(-40*(x-0.35)*(x-0.35))
+		evening := 9 * math.Exp(-30*(x-0.8)*(x-0.8))
+		weights[t] = 1 + morning + evening
+		total += weights[t]
+	}
+	arrivals := make([]int, p.Jobs)
+	for i := range arrivals {
+		r := rng.Float64() * total
+		for t, w := range weights {
+			r -= w
+			if r <= 0 || t == last-1 {
+				arrivals[i] = t
+				break
+			}
+		}
+	}
+	return plantTrace(rng, p, arrivals, func(int) int { return p.Window })
+}
+
+// FrontLoadedTrace is the adversarial regime: 60% of the jobs land at
+// slot 0 with generous windows (the engine commits early, cheaply-looking
+// intervals), then single-slot stragglers trickle in and force awake time
+// exactly where the committed plan left gaps.
+func FrontLoadedTrace(rng *rand.Rand, p TraceParams) *ArrivalTrace {
+	p.check()
+	last := arrivalCap(p.Horizon)
+	front := p.Jobs * 3 / 5
+	if front < 1 {
+		front = 1
+	}
+	arrivals := make([]int, p.Jobs)
+	for i := front; i < p.Jobs; i++ {
+		arrivals[i] = 1 + rng.Intn(last)
+		if arrivals[i] >= last {
+			arrivals[i] = last - 1
+		}
+	}
+	wide := 2*p.Window + 1
+	return plantTrace(rng, p, arrivals, func(i int) int {
+		if i < front {
+			return wide
+		}
+		return 0 // stragglers are anchor-only: no slack to hide in
+	})
+}

@@ -26,11 +26,13 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/budget"
 	"repro/internal/matroid"
+	"repro/internal/online"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/secretary"
 	"repro/internal/service"
 	"repro/internal/submodular"
+	"repro/internal/workload"
 )
 
 // ---- Scheduling (thesis §2.2–2.3) ----
@@ -96,6 +98,68 @@ func Improve(ins *Instance, s *Schedule) *Schedule {
 	return sched.Improve(ins, s)
 }
 
+// ---- Solver sessions (instance → model → session lifecycle) ----
+
+// Session is the mutable solver-session stage of the lifecycle: it owns
+// the built model, candidate intervals, and warm-start state across
+// mutations (AddJob, RemoveJob, SetUnavailable, AdvanceHorizon), and
+// re-solves with targeted invalidation instead of full rebuilds. Solve is
+// byte-identical to ScheduleAll on the equivalently-mutated instance
+// built from scratch; only the oracle-eval spend differs.
+type Session = sched.Session
+
+// NewSession opens a solver session over a private copy of the instance.
+func NewSession(ins *Instance, opts Options) (*Session, error) {
+	return sched.NewSession(ins, opts)
+}
+
+// ---- Rolling-horizon online engine ----
+
+// Re-exported online-engine types; see the online package for semantics.
+type (
+	// Engine is the rolling-horizon event loop: it commits the executed
+	// prefix of the current plan (never revoking past decisions), mutates
+	// its session with each arrival batch, and re-solves warm.
+	Engine = online.Engine
+	// EngineReport is a finished run's outcome: the clairvoyant-equal
+	// final plan, the committed online schedule and cost, and the oracle
+	// accounting.
+	EngineReport = online.RunReport
+	// ArrivalTrace is an online workload: instance dimensions plus
+	// time-ordered arrival events, feasible at every prefix.
+	ArrivalTrace = workload.ArrivalTrace
+	// ArrivalEvent is one trace step: jobs revealing themselves at a slot.
+	ArrivalEvent = workload.ArrivalEvent
+	// TraceParams tunes the arrival-trace generators.
+	TraceParams = workload.TraceParams
+)
+
+// NewEngine opens an empty rolling-horizon engine.
+func NewEngine(procs, horizon int, cost CostModel, opts Options) (*Engine, error) {
+	return online.NewEngine(procs, horizon, cost, opts)
+}
+
+// RunTrace drives a whole arrival trace through a fresh engine.
+func RunTrace(tr *ArrivalTrace, opts Options) (*EngineReport, error) {
+	return online.RunTrace(tr, opts)
+}
+
+// PoissonBurstTrace generates exponentially spaced arrival bursts.
+func PoissonBurstTrace(rng *rand.Rand, p TraceParams) *ArrivalTrace {
+	return workload.PoissonBurstTrace(rng, p)
+}
+
+// DiurnalTrace draws arrivals from a two-peak daily intensity curve.
+func DiurnalTrace(rng *rand.Rand, p TraceParams) *ArrivalTrace {
+	return workload.DiurnalTrace(rng, p)
+}
+
+// FrontLoadedTrace is the adversarial regime: a big opening burst with
+// wide windows, then tight single-slot stragglers.
+func FrontLoadedTrace(rng *rand.Rand, p TraceParams) *ArrivalTrace {
+	return workload.FrontLoadedTrace(rng, p)
+}
+
 // ---- Serving layer ----
 
 // Re-exported serving types; see the service package for full semantics.
@@ -119,6 +183,12 @@ type (
 	// InstanceSpec is the JSON wire form of a request (shared between
 	// the CLI, the HTTP server, and programmatic clients).
 	InstanceSpec = service.InstanceSpec
+	// ServiceMutation is one wire-form session mutation (add_job,
+	// remove_job, block, advance_horizon) for Service.MutateSession and
+	// POST /v1/session/{id}/mutate.
+	ServiceMutation = service.MutationSpec
+	// ServiceSessionInfo snapshots one live service session.
+	ServiceSessionInfo = service.SessionInfo
 )
 
 // Algorithm selectors for ServiceRequest.Mode.
@@ -130,6 +200,9 @@ const (
 
 // ErrServiceClosed is returned by Submit once Close has begun.
 var ErrServiceClosed = service.ErrClosed
+
+// ErrNoSession is returned for unknown or dropped service-session ids.
+var ErrNoSession = service.ErrNoSession
 
 // NewService starts the concurrent batch-scheduling service. The caller
 // owns it and must Close it to release the worker pool.

@@ -228,3 +228,46 @@ func TestFacadeCostModels(t *testing.T) {
 		t.Fatal("CostFunc")
 	}
 }
+
+func TestFacadeSessionAndEngine(t *testing.T) {
+	ins := &powersched.Instance{
+		Procs: 1, Horizon: 8,
+		Cost: powersched.Affine{Alpha: 2, Rate: 1},
+		Jobs: []powersched.Job{
+			{Value: 1, Allowed: []powersched.SlotKey{{Proc: 0, Time: 1}, {Proc: 0, Time: 2}}},
+		},
+	}
+	sess, err := powersched.NewSession(ins, powersched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddJob(powersched.Job{Value: 1,
+		Allowed: []powersched.SlotKey{{Proc: 0, Time: 2}, {Proc: 0, Time: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := powersched.ScheduleAll(sess.Instance(), powersched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || got.Scheduled != want.Scheduled {
+		t.Fatalf("session %+v vs from-scratch %+v", got, want)
+	}
+
+	tr := powersched.PoissonBurstTrace(rand.New(rand.NewSource(5)), powersched.TraceParams{
+		Procs: 2, Horizon: 24, Jobs: 8, Window: 1,
+	})
+	rep, err := powersched.RunTrace(tr, powersched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served+rep.Missed != 8 || rep.Plan == nil {
+		t.Fatalf("engine report %+v", rep)
+	}
+}
