@@ -1,6 +1,6 @@
-// Command experiments regenerates the thesis-validation tables E1–E16 and
-// ablations A1–A4 (see DESIGN.md §2 for the index and EXPERIMENTS.md for
-// recorded output).
+// Command experiments regenerates the thesis-validation tables E1–E17 and
+// ablations A1–A4 (see DESIGN.md §2 for the index — ids are frozen — and
+// EXPERIMENTS.md for recorded output).
 //
 // Usage:
 //

@@ -17,7 +17,9 @@
 //
 // Cost models: "affine" {alpha, rate}; "perproc" {alphas, rates};
 // "timeofuse" {alphas, rates, price}; "superlinear" {alpha, rate, fan,
-// exp}; "unavailable" {base: <model>, blocked: [{proc, time}, ...]}.
+// exp}; "speedscaled" {wakes, speeds, exp}; "sleepstate" {wake, rate,
+// idle}; "composite" {wakes, speeds, exp, price, blocked};
+// "unavailable" {base: <model>, blocked: [{proc, time}, ...]}.
 //
 // Solve flags: -workers sets the greedy's candidate-probe parallelism
 // (sharded incremental-oracle replicas; identical schedules at any count,
@@ -30,10 +32,14 @@
 // are refused with 503. Session endpoints (/v1/session …) expose the
 // mutable solver-session lifecycle.
 //
-// Simulate flags: -trace poisson|diurnal|frontloaded, -procs, -horizon,
-// -jobs, -window, -seed, -alpha, -rate, -workers. The run is
+// Simulate flags: -trace poisson|diurnal|frontloaded, -cost
+// affine|speedscaled|sleepstate|composite, -procs, -horizon, -jobs,
+// -window, -seed, -alpha (wake cost, all models), -rate (per-slot cost;
+// read by affine and sleepstate only), -workers. The run is
 // deterministic per seed; the JSON report compares the committed online
-// schedule against the clairvoyant offline solve of the same trace.
+// schedule against the clairvoyant offline solve of the same trace, and
+// for sleep-state models also reports the gap-aware hardware cost of the
+// committed intervals (keep-alive vs re-wake priced across gaps).
 package main
 
 import (
@@ -143,32 +149,79 @@ func serveMain(args []string) error {
 
 // simulateReport is the JSON output of `powersched simulate`.
 type simulateReport struct {
-	Trace           string                 `json:"trace"`
-	Seed            int64                  `json:"seed"`
-	Procs           int                    `json:"procs"`
-	Horizon         int                    `json:"horizon"`
-	Jobs            int                    `json:"jobs"`
-	Events          int                    `json:"events"`
-	Solves          int                    `json:"solves"`
-	Evals           int64                  `json:"evals"`
-	CommittedCost   float64                `json:"committed_cost"`
-	ClairvoyantCost float64                `json:"clairvoyant_cost"`
-	CostRatio       float64                `json:"cost_ratio"`
-	Served          int                    `json:"served"`
-	Missed          int                    `json:"missed"`
-	Committed       []service.IntervalSpec `json:"committed_intervals"`
+	Trace           string  `json:"trace"`
+	Cost            string  `json:"cost_model"`
+	Seed            int64   `json:"seed"`
+	Procs           int     `json:"procs"`
+	Horizon         int     `json:"horizon"`
+	Jobs            int     `json:"jobs"`
+	Events          int     `json:"events"`
+	Solves          int     `json:"solves"`
+	Evals           int64   `json:"evals"`
+	CommittedCost   float64 `json:"committed_cost"`
+	ClairvoyantCost float64 `json:"clairvoyant_cost"`
+	CostRatio       float64 `json:"cost_ratio"`
+	// CommittedHardware is the schedule-aware price of the committed
+	// intervals (power.ScheduleCoster); equals CommittedCost for models
+	// without cross-interval effects.
+	CommittedHardware float64                `json:"committed_hardware_cost"`
+	Served            int                    `json:"served"`
+	Missed            int                    `json:"missed"`
+	Committed         []service.IntervalSpec `json:"committed_intervals"`
+}
+
+// simulateCost builds the -cost model for a simulate run. Heterogeneous
+// fleets ramp speeds 1→2 (and wake costs down) across the processors;
+// the composite's price curve is the seeded market trace. Each kind
+// reads the flags it has a use for: -alpha (wake) everywhere, -rate for
+// affine (per-slot cost) and sleepstate (busy rate; idle = rate/2); the
+// speed-scaled and composite exponents are fixed (3 and 2). Negative
+// flags are input errors — the power constructors would panic on them.
+func simulateCost(kind string, procs, horizon int, wake, rate float64, seed int64) (power.CostModel, error) {
+	if wake < 0 || rate < 0 {
+		return nil, fmt.Errorf("-alpha %g / -rate %g: costs must be >= 0", wake, rate)
+	}
+	ramp := func() (wakes, speeds []float64) {
+		wakes = make([]float64, procs)
+		speeds = make([]float64, procs)
+		for p := 0; p < procs; p++ {
+			frac := 0.0
+			if procs > 1 {
+				frac = float64(p) / float64(procs-1)
+			}
+			speeds[p] = 1 + frac
+			wakes[p] = wake * (1 - frac/2)
+		}
+		return wakes, speeds
+	}
+	switch kind {
+	case "affine":
+		return power.Affine{Alpha: wake, Rate: rate}, nil
+	case "speedscaled":
+		wakes, speeds := ramp()
+		return power.NewSpeedScaled(wakes, speeds, 3), nil
+	case "sleepstate":
+		return power.NewSleepState(wake, rate, rate/2), nil
+	case "composite":
+		wakes, speeds := ramp()
+		price := workload.MarketTrace(rand.New(rand.NewSource(seed+1)), horizon)
+		return power.NewComposite(wakes, speeds, 2, price).Freeze(), nil
+	default:
+		return nil, fmt.Errorf("unknown cost model %q (want affine, speedscaled, sleepstate, or composite)", kind)
+	}
 }
 
 func simulateMain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	traceKind := fs.String("trace", "poisson", "arrival trace generator: poisson | diurnal | frontloaded")
+	costKind := fs.String("cost", "affine", "cost model: affine | speedscaled | sleepstate | composite")
 	seed := fs.Int64("seed", 42, "RNG seed (runs are deterministic per seed)")
 	procs := fs.Int("procs", 2, "processors")
 	horizon := fs.Int("horizon", 64, "slotted horizon")
 	jobs := fs.Int("jobs", 24, "total jobs across the trace")
 	window := fs.Int("window", 2, "half-window of each job around its planted slot")
-	alpha := fs.Float64("alpha", 4, "affine wake cost")
-	rate := fs.Float64("rate", 1, "affine per-slot cost")
+	alpha := fs.Float64("alpha", 4, "wake cost (all cost models)")
+	rate := fs.Float64("rate", 1, "per-slot cost (affine and sleepstate; speedscaled/composite derive slot costs from the speed ramp)")
 	workers := fs.Int("workers", 0, "greedy probe parallelism inside each re-solve")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,9 +235,13 @@ func simulateMain(args []string, out io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown trace %q (want poisson, diurnal, or frontloaded)", *traceKind)
 	}
+	cost, err := simulateCost(*costKind, *procs, *horizon, *alpha, *rate, *seed)
+	if err != nil {
+		return err
+	}
 	params := workload.TraceParams{
 		Procs: *procs, Horizon: *horizon, Jobs: *jobs, Window: *window,
-		Cost: power.Affine{Alpha: *alpha, Rate: *rate},
+		Cost: cost,
 	}
 	if err := workload.CheckParams(params); err != nil {
 		return err
@@ -196,6 +253,7 @@ func simulateMain(args []string, out io.Writer) error {
 	}
 	report := simulateReport{
 		Trace:           *traceKind,
+		Cost:            *costKind,
 		Seed:            *seed,
 		Procs:           *procs,
 		Horizon:         *horizon,
@@ -211,6 +269,8 @@ func simulateMain(args []string, out io.Writer) error {
 	if rep.Plan.Cost > 0 {
 		report.CostRatio = rep.CommittedCost / rep.Plan.Cost
 	}
+	committed := &sched.Schedule{Intervals: rep.CommittedIntervals, Cost: rep.CommittedCost}
+	report.CommittedHardware = committed.HardwareCost(tr.FinalInstance())
 	for _, iv := range rep.CommittedIntervals {
 		report.Committed = append(report.Committed, service.IntervalSpec{
 			Proc: iv.Proc, Start: iv.Start, End: iv.End,

@@ -283,3 +283,46 @@ func TestE16Shape(t *testing.T) {
 		}
 	}
 }
+
+func TestE17Shape(t *testing.T) {
+	rows := tableFor(t, "E17")
+	if len(rows) != 8 {
+		t.Fatalf("E17 has %d rows, want one per cost model plus the gapdp cross-check", len(rows))
+	}
+	sawHookCredit := false
+	for r, row := range rows {
+		n := cell(t, rows, r, 1)
+		if n < 4 || n > 12 {
+			t.Fatalf("%s: n = %g outside the exact-solver range [4,12]", row[0], n)
+		}
+		ratio := cell(t, rows, r, 2)
+		envelope := cell(t, rows, r, 4)
+		if ratio < 1-1e-9 {
+			t.Fatalf("%s: greedy/opt = %g < 1 — the \"exact\" optimum is not optimal", row[0], ratio)
+		}
+		// The acceptance criterion: the O(log n) bound is never violated,
+		// on any model — asserted via the per-trial fraction and the max.
+		if ok := cell(t, rows, r, 5); ok != 1 {
+			t.Fatalf("%s: bound-ok frac = %g, want 1 (O(log n) envelope violated)", row[0], ok)
+		}
+		if maxRatio := cell(t, rows, r, 3); maxRatio > envelope {
+			t.Fatalf("%s: max greedy/opt %g exceeds envelope %g", row[0], maxRatio, envelope)
+		}
+		hw := cell(t, rows, r, 6)
+		if hw > 1+1e-9 {
+			t.Fatalf("%s: hw/add = %g > 1 — the schedule-aware hook overcharged", row[0], hw)
+		}
+		if row[0] == "sleepstate" && hw < 1 {
+			sawHookCredit = true
+		}
+		if row[0] != "sleepstate" && hw < 1-1e-9 {
+			t.Fatalf("%s: hw/add = %g < 1 on an additive model", row[0], hw)
+		}
+		if xc := cell(t, rows, r, 7); xc != 1 {
+			t.Fatalf("%s: cross-check frac = %g, want 1", row[0], xc)
+		}
+	}
+	if !sawHookCredit {
+		t.Fatal("sleepstate row shows no hardware-cost credit — the hook is dead")
+	}
+}

@@ -10,7 +10,7 @@
 // Contract: every CostModel in this package is safe for concurrent use
 // once fully constructed, and returns +Inf — never panics — for intervals
 // it cannot price (out-of-range processors, slots beyond a priced horizon,
-// blocked slots). The scheduling algorithms and the serving layer rely on
+// blocked slots, inverted intervals with end < start). The scheduling algorithms and the serving layer rely on
 // both halves of that contract: +Inf prunes a candidate interval, and a
 // panic would take down a whole serving process. Unavailable is the one
 // model with post-construction mutators (Block); call Freeze before
@@ -46,8 +46,12 @@ type Affine struct {
 	Rate  float64 // energy per awake slot
 }
 
-// Cost implements CostModel.
+// Cost implements CostModel. Inverted intervals (end < start) are not
+// priceable: +Inf, like every other query a model cannot answer.
 func (a Affine) Cost(proc, start, end int) float64 {
+	if end < start {
+		return math.Inf(1)
+	}
 	return a.Alpha + a.Rate*float64(end-start)
 }
 
@@ -69,7 +73,7 @@ func NewPerProcessor(alpha, rate []float64) PerProcessor {
 // Cost implements CostModel. Processors outside the configured range are
 // unavailable: they cost +Inf rather than panicking.
 func (m PerProcessor) Cost(proc, start, end int) float64 {
-	if proc < 0 || proc >= len(m.Alpha) || proc >= len(m.Rate) {
+	if proc < 0 || proc >= len(m.Alpha) || proc >= len(m.Rate) || end < start {
 		return math.Inf(1)
 	}
 	return m.Alpha[proc] + m.Rate[proc]*float64(end-start)
@@ -120,8 +124,12 @@ type Superlinear struct {
 	Exp         float64
 }
 
-// Cost implements CostModel.
+// Cost implements CostModel. Inverted intervals are +Inf — a negative
+// length under a fractional exponent would otherwise produce NaN.
 func (s Superlinear) Cost(proc, start, end int) float64 {
+	if end < start {
+		return math.Inf(1)
+	}
 	l := float64(end - start)
 	return s.Alpha + s.Rate*l + s.Fan*math.Pow(l, s.Exp)
 }

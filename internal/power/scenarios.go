@@ -1,0 +1,285 @@
+package power
+
+// This file holds the scenario-matrix cost models added on top of the
+// four original ones: speed scaling (Bunde's energy/makespan trade-off
+// regime), sleep states with wake costs (Kumar–Shannigrahi's power-down
+// regime), and a composite stacking all three of §1's generalizations.
+// All obey the package contract: concurrent-safe once constructed (the
+// maskable Composite after Freeze), +Inf — never a panic — for anything
+// they cannot price.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// SpeedScaled models a heterogeneous speed-scaled fleet: processor p runs
+// at fixed speed Speed[p] and burns energy Speed[p]^Alpha per awake slot
+// (the classical power = s^α law of the speed-scaling literature), plus a
+// per-processor wake cost. Fast machines finish more work per slot but
+// pay superlinearly for it, so the scheduler is incentivized to park work
+// on slow efficient machines when windows allow.
+type SpeedScaled struct {
+	Wake  []float64 // per-processor wake cost
+	Speed []float64 // per-processor speed s_p > 0
+	Alpha float64   // power-law exponent α (3 is the classical cube law)
+}
+
+// NewSpeedScaled validates slice lengths, speeds, and wake costs and
+// returns the model. Negative wakes are rejected: they would produce
+// negative interval costs, violating the package contract.
+func NewSpeedScaled(wake, speed []float64, alpha float64) SpeedScaled {
+	if len(wake) != len(speed) {
+		panic(fmt.Sprintf("power: %d wakes vs %d speeds", len(wake), len(speed)))
+	}
+	for p, s := range speed {
+		if s <= 0 {
+			panic(fmt.Sprintf("power: SpeedScaled speed[%d] = %g, want > 0", p, s))
+		}
+	}
+	for p, w := range wake {
+		if w < 0 {
+			panic(fmt.Sprintf("power: SpeedScaled wake[%d] = %g, want >= 0", p, w))
+		}
+	}
+	return SpeedScaled{Wake: wake, Speed: speed, Alpha: alpha}
+}
+
+// Cost implements CostModel: Wake[p] + Speed[p]^Alpha · length. Processors
+// outside the configured range are unavailable: +Inf, never a panic.
+func (m SpeedScaled) Cost(proc, start, end int) float64 {
+	if proc < 0 || proc >= len(m.Wake) || proc >= len(m.Speed) || end < start {
+		return math.Inf(1)
+	}
+	return m.Wake[proc] + math.Pow(m.Speed[proc], m.Alpha)*float64(end-start)
+}
+
+// Span is a half-open busy interval [Start, End) on one processor, the
+// unit the schedule-aware costing hook (ScheduleCoster) prices over.
+type Span struct{ Start, End int }
+
+// ScheduleCoster is the optional schedule-aware costing hook. A plain
+// CostModel prices each awake interval in isolation, which cannot express
+// cross-interval effects like "keeping the processor alive through a
+// short gap is cheaper than sleeping and re-waking". Models that can
+// price a processor's whole set of busy spans jointly implement this; the
+// scheduling layer exposes it as Schedule.HardwareCost. The per-interval
+// Cost must remain an upper bound on the joint price, so the greedy's
+// additive objective stays a conservative surrogate.
+type ScheduleCoster interface {
+	// ScheduleCost prices the processor's busy spans jointly. Spans may
+	// arrive unsorted or overlapping; implementations normalize first.
+	ScheduleCost(proc int, spans []Span) float64
+}
+
+// AsScheduleCoster returns the schedule-aware hook behind m, unwrapping
+// Unavailable masks (a mask changes which intervals exist, not how the
+// survivors' gaps are priced).
+func AsScheduleCoster(m CostModel) (ScheduleCoster, bool) {
+	for {
+		if sc, ok := m.(ScheduleCoster); ok {
+			return sc, true
+		}
+		u, ok := m.(*Unavailable)
+		if !ok {
+			return nil, false
+		}
+		m = u.Base
+	}
+}
+
+// SleepState models a machine with a sleep state: waking from sleep costs
+// Wake, an awake processor burns Busy per busy slot, and between two busy
+// spans the hardware either stays awake at Idle per gap slot or powers
+// down and pays Wake again — whichever is cheaper (the ski-rental
+// decision at the heart of power-down scheduling).
+//
+// As a per-interval CostModel it charges Wake + Busy·length per awake
+// interval, i.e. it assumes every interval powers down afterwards. That
+// is an upper bound on the joint price; the ScheduleCoster hook refines
+// it by crediting gaps where keeping alive at Idle beats re-waking.
+type SleepState struct {
+	Wake float64 // cost of waking from the sleep state
+	Busy float64 // energy per busy (awake, serving) slot
+	Idle float64 // energy per slot spent awake but idle between spans
+}
+
+// NewSleepState validates rates and returns the model. Idle must not
+// exceed Busy + Wake in a way that breaks the upper-bound contract; any
+// non-negative combination is sound, so only negatives are rejected.
+func NewSleepState(wake, busy, idle float64) SleepState {
+	if wake < 0 || busy < 0 || idle < 0 {
+		panic(fmt.Sprintf("power: SleepState rates (%g, %g, %g), want all >= 0", wake, busy, idle))
+	}
+	return SleepState{Wake: wake, Busy: busy, Idle: idle}
+}
+
+// Cost implements CostModel: Wake + Busy·length for any processor (the
+// fleet is homogeneous). Inverted intervals are +Inf.
+func (m SleepState) Cost(proc, start, end int) float64 {
+	if end < start {
+		return math.Inf(1)
+	}
+	return m.Wake + m.Busy*float64(end-start)
+}
+
+// ScheduleCost implements ScheduleCoster: one Wake for the first span,
+// Busy over every busy slot, and per gap the cheaper of keeping alive
+// (Idle·gap) or powering down and re-waking (Wake). Overlapping or
+// adjacent spans are merged first, so double-covered slots are not
+// double-billed.
+func (m SleepState) ScheduleCost(proc int, spans []Span) float64 {
+	merged := mergeSpans(spans)
+	if len(merged) == 0 {
+		return 0
+	}
+	total := m.Wake
+	prevEnd := merged[0].Start
+	for i, sp := range merged {
+		if i > 0 {
+			gap := float64(sp.Start - prevEnd)
+			total += math.Min(m.Idle*gap, m.Wake)
+		}
+		total += m.Busy * float64(sp.End-sp.Start)
+		prevEnd = sp.End
+	}
+	return total
+}
+
+// mergeSpans sorts and merges overlapping or touching spans, dropping
+// empty ones.
+func mergeSpans(spans []Span) []Span {
+	clean := make([]Span, 0, len(spans))
+	for _, sp := range spans {
+		if sp.End > sp.Start {
+			clean = append(clean, sp)
+		}
+	}
+	sort.Slice(clean, func(a, b int) bool {
+		if clean[a].Start != clean[b].Start {
+			return clean[a].Start < clean[b].Start
+		}
+		return clean[a].End < clean[b].End
+	})
+	out := clean[:0]
+	for _, sp := range clean {
+		if n := len(out); n > 0 && sp.Start <= out[n-1].End {
+			if sp.End > out[n-1].End {
+				out[n-1].End = sp.End
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Composite stacks all three of §1's generalizations in one model:
+// time-of-use market pricing × heterogeneous speed-scaled machines ×
+// unavailability. Processor p pays
+//
+//	Wake[p] + Speed[p]^Alpha · Σ_{t ∈ [start,end)} Price[t]
+//
+// and any interval touching a blocked slot, an out-of-range processor, or
+// a slot beyond the priced horizon costs +Inf.
+//
+// Like Unavailable, Composite has a mutable setup phase (Block) followed
+// by a frozen serving phase: call Freeze before sharing across goroutines,
+// after which a late Block panics instead of racing.
+type Composite struct {
+	wake    []float64
+	speed   []float64
+	alpha   float64
+	prefix  []float64      // prefix[t] = Σ_{u<t} price[u]
+	blocked map[int][]bool // proc -> slot -> blocked
+	frozen  atomic.Bool
+}
+
+// NewComposite validates the fleet and price curve and returns the model
+// in its setup phase. Negative wakes or prices are rejected: they would
+// produce negative interval costs, violating the package contract (and
+// negative prices would break interval monotonicity).
+func NewComposite(wake, speed []float64, alpha float64, price []float64) *Composite {
+	if len(wake) != len(speed) {
+		panic(fmt.Sprintf("power: %d wakes vs %d speeds", len(wake), len(speed)))
+	}
+	for p, s := range speed {
+		if s <= 0 {
+			panic(fmt.Sprintf("power: Composite speed[%d] = %g, want > 0", p, s))
+		}
+	}
+	for p, w := range wake {
+		if w < 0 {
+			panic(fmt.Sprintf("power: Composite wake[%d] = %g, want >= 0", p, w))
+		}
+	}
+	for t, pr := range price {
+		if pr < 0 {
+			panic(fmt.Sprintf("power: Composite price[%d] = %g, want >= 0", t, pr))
+		}
+	}
+	prefix := make([]float64, len(price)+1)
+	for t, p := range price {
+		prefix[t+1] = prefix[t] + p
+	}
+	return &Composite{wake: wake, speed: speed, alpha: alpha, prefix: prefix, blocked: map[int][]bool{}}
+}
+
+// Horizon returns the number of priced slots.
+func (c *Composite) Horizon() int { return len(c.prefix) - 1 }
+
+// Block marks slot t on processor proc unavailable. Setup phase only:
+// calling it on a frozen model, or outside the fleet/horizon, panics —
+// silently ignoring a miswired mask would hide the error.
+func (c *Composite) Block(proc, t int) {
+	if c.frozen.Load() {
+		panic("power: Composite.Block after Freeze — the mask is immutable while serving")
+	}
+	if proc < 0 || proc >= len(c.wake) {
+		panic(fmt.Sprintf("power: Composite.Block proc %d outside fleet of %d", proc, len(c.wake)))
+	}
+	if t < 0 || t >= c.Horizon() {
+		panic(fmt.Sprintf("power: Composite.Block slot %d outside horizon %d", t, c.Horizon()))
+	}
+	if _, ok := c.blocked[proc]; !ok {
+		c.blocked[proc] = make([]bool, c.Horizon())
+	}
+	c.blocked[proc][t] = true
+}
+
+// Freeze ends the setup phase: subsequent Block calls panic and the model
+// becomes safe for concurrent Cost reads. Idempotent; returns the
+// receiver for chaining.
+func (c *Composite) Freeze() *Composite {
+	c.frozen.Store(true)
+	return c
+}
+
+// Frozen reports whether Freeze has been called.
+func (c *Composite) Frozen() bool { return c.frozen.Load() }
+
+// Blocked reports whether slot t on processor proc is masked out.
+func (c *Composite) Blocked(proc, t int) bool {
+	row, ok := c.blocked[proc]
+	return ok && t >= 0 && t < len(row) && row[t]
+}
+
+// Cost implements CostModel.
+func (c *Composite) Cost(proc, start, end int) float64 {
+	if proc < 0 || proc >= len(c.wake) {
+		return math.Inf(1)
+	}
+	if start < 0 || end > c.Horizon() || start > end {
+		return math.Inf(1)
+	}
+	if row, ok := c.blocked[proc]; ok {
+		for t := start; t < end; t++ {
+			if row[t] {
+				return math.Inf(1)
+			}
+		}
+	}
+	return c.wake[proc] + math.Pow(c.speed[proc], c.alpha)*(c.prefix[end]-c.prefix[start])
+}

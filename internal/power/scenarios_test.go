@@ -1,0 +1,182 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpeedScaledFormula(t *testing.T) {
+	m := NewSpeedScaled([]float64{2, 5}, []float64{1, 2}, 3)
+	if got := m.Cost(0, 3, 7); got != 2+1*4 {
+		t.Fatalf("proc 0 cost = %g, want 6", got)
+	}
+	if got := m.Cost(1, 0, 3); got != 5+8*3 {
+		t.Fatalf("proc 1 cost = %g, want 29 (speed 2 cubed)", got)
+	}
+	for _, proc := range []int{-1, 2, 99} {
+		if got := m.Cost(proc, 0, 1); !math.IsInf(got, 1) {
+			t.Fatalf("proc %d cost = %g, want +Inf", proc, got)
+		}
+	}
+}
+
+func TestSpeedScaledValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { NewSpeedScaled([]float64{1}, []float64{1, 2}, 3) },
+		"zero speed":      func() { NewSpeedScaled([]float64{1}, []float64{0}, 3) },
+		"negative wake":   func() { NewSpeedScaled([]float64{-1}, []float64{1}, 3) },
+		"composite negative wake": func() {
+			NewComposite([]float64{-1}, []float64{1}, 2, []float64{1})
+		},
+		"composite negative price": func() {
+			NewComposite([]float64{1}, []float64{1}, 2, []float64{1, -1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSleepStateIntervalIsWakePlusBusy(t *testing.T) {
+	m := NewSleepState(10, 2, 1)
+	if got := m.Cost(0, 4, 9); got != 10+2*5 {
+		t.Fatalf("cost = %g, want 20", got)
+	}
+	// Homogeneous: any processor index prices the same, finitely.
+	if a, b := m.Cost(0, 0, 3), m.Cost(7, 0, 3); a != b {
+		t.Fatalf("procs priced differently: %g vs %g", a, b)
+	}
+}
+
+func TestSleepStateScheduleCostGapDecision(t *testing.T) {
+	m := NewSleepState(10, 2, 1)
+	// Two spans of 3 busy slots with a gap of 4: keep-alive costs 4·1 = 4,
+	// re-waking costs 10 → keep alive wins.
+	got := m.ScheduleCost(0, []Span{{0, 3}, {7, 10}})
+	want := 10 + 2*3 + 4.0 + 2*3
+	if got != want {
+		t.Fatalf("short gap: ScheduleCost = %g, want %g", got, want)
+	}
+	// Gap of 15: keep-alive 15 > wake 10 → power down and re-wake.
+	got = m.ScheduleCost(0, []Span{{0, 3}, {18, 21}})
+	want = 10 + 2*3 + 10 + 2*3
+	if got != want {
+		t.Fatalf("long gap: ScheduleCost = %g, want %g", got, want)
+	}
+	if got := m.ScheduleCost(0, nil); got != 0 {
+		t.Fatalf("empty spans cost %g, want 0", got)
+	}
+}
+
+func TestSleepStateScheduleCostMergesAndBounds(t *testing.T) {
+	m := NewSleepState(6, 2, 1)
+	// Unsorted, overlapping, and touching spans merge to [0,5) ∪ [8,10).
+	spans := []Span{{8, 10}, {2, 5}, {0, 3}, {3, 3}}
+	got := m.ScheduleCost(0, spans)
+	want := 6 + 2*5 + math.Min(1*3, 6) + 2*2
+	if got != want {
+		t.Fatalf("ScheduleCost = %g, want %g", got, want)
+	}
+	// The joint price never exceeds the additive per-interval price of the
+	// merged spans — the upper-bound contract the greedy relies on.
+	additive := m.Cost(0, 0, 5) + m.Cost(0, 8, 10)
+	if got > additive+1e-9 {
+		t.Fatalf("joint %g exceeds additive %g", got, additive)
+	}
+}
+
+func TestSleepStateNegativeRatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate accepted")
+		}
+	}()
+	NewSleepState(1, -2, 0)
+}
+
+func TestAsScheduleCosterUnwrapsUnavailable(t *testing.T) {
+	base := NewSleepState(5, 1, 1)
+	if _, ok := AsScheduleCoster(base); !ok {
+		t.Fatal("SleepState should expose the hook directly")
+	}
+	wrapped := NewUnavailable(NewUnavailable(base, 10).Freeze(), 10).Freeze()
+	sc, ok := AsScheduleCoster(wrapped)
+	if !ok {
+		t.Fatal("hook not found through nested Unavailable masks")
+	}
+	if got, want := sc.ScheduleCost(0, []Span{{0, 2}}), 5+1*2.0; got != want {
+		t.Fatalf("unwrapped hook cost = %g, want %g", got, want)
+	}
+	if _, ok := AsScheduleCoster(Affine{Alpha: 1, Rate: 1}); ok {
+		t.Fatal("Affine should not expose a hook")
+	}
+}
+
+func TestCompositeFormula(t *testing.T) {
+	price := []float64{1, 2, 4, 8}
+	c := NewComposite([]float64{3, 1}, []float64{1, 2}, 2, price)
+	c.Block(1, 2)
+	c.Freeze()
+	if got := c.Horizon(); got != 4 {
+		t.Fatalf("Horizon = %d, want 4", got)
+	}
+	// Proc 0: wake 3 + 1²·(price[1]+price[2]) = 3 + 6.
+	if got := c.Cost(0, 1, 3); got != 9 {
+		t.Fatalf("proc 0 cost = %g, want 9", got)
+	}
+	// Proc 1: wake 1 + 2²·price[0] = 5; slot 2 is blocked.
+	if got := c.Cost(1, 0, 1); got != 5 {
+		t.Fatalf("proc 1 cost = %g, want 5", got)
+	}
+	if got := c.Cost(1, 1, 3); !math.IsInf(got, 1) {
+		t.Fatalf("blocked interval cost = %g, want +Inf", got)
+	}
+	for _, bad := range [][3]int{{-1, 0, 1}, {2, 0, 1}, {0, -1, 2}, {0, 2, 5}, {0, 3, 1}} {
+		if got := c.Cost(bad[0], bad[1], bad[2]); !math.IsInf(got, 1) {
+			t.Fatalf("Cost%v = %g, want +Inf", bad, got)
+		}
+	}
+	if !c.Blocked(1, 2) || c.Blocked(0, 2) {
+		t.Fatal("Blocked mask wrong")
+	}
+}
+
+func TestCompositeFreezeSemantics(t *testing.T) {
+	c := NewComposite([]float64{1}, []float64{1}, 2, []float64{1, 1})
+	if c.Frozen() {
+		t.Fatal("frozen before Freeze")
+	}
+	if c.Freeze() != c {
+		t.Fatal("Freeze should return the receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Block after Freeze should panic")
+		}
+	}()
+	c.Block(0, 0)
+}
+
+func TestCompositeBlockValidation(t *testing.T) {
+	for name, fn := range map[string]func(*Composite){
+		"proc out of fleet":   func(c *Composite) { c.Block(3, 0) },
+		"slot out of horizon": func(c *Composite) { c.Block(0, 9) },
+		"negative slot":       func(c *Composite) { c.Block(0, -1) },
+	} {
+		c := NewComposite([]float64{1}, []float64{1}, 2, []float64{1, 1})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn(c)
+		}()
+	}
+}

@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/power"
+)
+
+// HardwareCost prices the schedule through the cost model's
+// schedule-aware hook when it has one (power.ScheduleCoster, reached
+// through any Unavailable masks): per processor, the chosen awake
+// intervals are merged into busy spans and priced jointly, so
+// cross-interval effects — keeping a processor alive through a short gap
+// instead of sleeping and re-waking — are credited. For models without
+// the hook the additive Schedule.Cost is already the hardware truth and
+// is returned unchanged.
+//
+// Because the hook is contractually bounded above by the additive
+// per-interval price, HardwareCost never exceeds s.Cost; the greedy
+// optimizes the additive surrogate and this reports what the hardware
+// would actually pay.
+func (s *Schedule) HardwareCost(ins *Instance) float64 {
+	sc, ok := power.AsScheduleCoster(ins.Cost)
+	if !ok {
+		return s.Cost
+	}
+	byProc := make(map[int][]power.Span)
+	var procs []int
+	for _, iv := range s.Intervals {
+		if _, ok := byProc[iv.Proc]; !ok {
+			procs = append(procs, iv.Proc)
+		}
+		byProc[iv.Proc] = append(byProc[iv.Proc], power.Span{Start: iv.Start, End: iv.End})
+	}
+	// Sum in sorted processor order: float addition is non-associative,
+	// so map-iteration order would make the total nondeterministic in
+	// its low bits across runs.
+	sort.Ints(procs)
+	total := 0.0
+	for _, proc := range procs {
+		total += sc.ScheduleCost(proc, byProc[proc])
+	}
+	return total
+}

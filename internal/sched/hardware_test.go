@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestHardwareCostGapCredit(t *testing.T) {
+	model := power.NewSleepState(10, 2, 1)
+	ins := &Instance{Procs: 2, Horizon: 20, Cost: model}
+	s := &Schedule{
+		Intervals: []Interval{
+			{Proc: 0, Start: 0, End: 3},
+			{Proc: 0, Start: 6, End: 8}, // gap 3: keep-alive 3 < wake 10
+			{Proc: 1, Start: 4, End: 6},
+		},
+	}
+	for _, iv := range s.Intervals {
+		s.Cost += model.Cost(iv.Proc, iv.Start, iv.End)
+	}
+	want := (10 + 2*3 + 3 + 2*2) + (10 + 2*2) // proc 0 keeps alive; proc 1 wakes once
+	if got := s.HardwareCost(ins); got != float64(want) {
+		t.Fatalf("HardwareCost = %g, want %d", got, want)
+	}
+	if got := s.HardwareCost(ins); got > s.Cost {
+		t.Fatalf("HardwareCost %g exceeds additive Cost %g", got, s.Cost)
+	}
+}
+
+func TestHardwareCostUnwrapsMaskAndDefaults(t *testing.T) {
+	base := power.NewSleepState(5, 1, 1)
+	masked := power.NewUnavailable(base, 20)
+	masked.Block(0, 19)
+	ins := &Instance{Procs: 1, Horizon: 20, Cost: masked.Freeze()}
+	s := &Schedule{Intervals: []Interval{{Proc: 0, Start: 0, End: 2}}}
+	s.Cost = masked.Cost(0, 0, 2)
+	if got, want := s.HardwareCost(ins), 5+1*2.0; got != want {
+		t.Fatalf("masked HardwareCost = %g, want %g", got, want)
+	}
+	// Hook-less models report the additive cost unchanged.
+	plain := &Instance{Procs: 1, Horizon: 20, Cost: power.Affine{Alpha: 2, Rate: 1}}
+	s2 := &Schedule{Cost: 42, Intervals: []Interval{{Proc: 0, Start: 0, End: 2}}}
+	if got := s2.HardwareCost(plain); got != 42 {
+		t.Fatalf("hook-less HardwareCost = %g, want 42", got)
+	}
+}

@@ -19,8 +19,8 @@
 // This file is the wire codec, shared between the CLI and the HTTP
 // server: JSON specs for instances, jobs, and every cost model in
 // internal/power (Affine, PerProcessor, TimeOfUse, Superlinear,
-// Unavailable), schedule encoding, and the canonical instance digest that
-// keys the result cache.
+// SpeedScaled, SleepState, Composite, Unavailable), schedule encoding,
+// and the canonical instance digest that keys the result cache.
 package service
 
 import (
@@ -35,16 +35,22 @@ import (
 
 // CostSpec describes a cost model on the wire. Model selects the variant;
 // the other fields are variant-specific. "unavailable" nests its base
-// model in Base and lists blocked slots in Blocked.
+// model in Base and lists blocked slots in Blocked; "composite" and
+// "speedscaled" use the per-processor Wakes/Speeds fleet description with
+// Exp as the power-law exponent; "sleepstate" reads Wake/Rate/Idle.
 type CostSpec struct {
 	Model  string    `json:"model"`
 	Alpha  float64   `json:"alpha,omitempty"`
 	Rate   float64   `json:"rate,omitempty"`
 	Fan    float64   `json:"fan,omitempty"`
 	Exp    float64   `json:"exp,omitempty"`
+	Wake   float64   `json:"wake,omitempty"`
+	Idle   float64   `json:"idle,omitempty"`
 	Alphas []float64 `json:"alphas,omitempty"`
 	Rates  []float64 `json:"rates,omitempty"`
 	Price  []float64 `json:"price,omitempty"`
+	Wakes  []float64 `json:"wakes,omitempty"`
+	Speeds []float64 `json:"speeds,omitempty"`
 
 	Base    *CostSpec  `json:"base,omitempty"`
 	Blocked []SlotSpec `json:"blocked,omitempty"`
@@ -137,6 +143,38 @@ func BuildCost(spec CostSpec, procs, horizon int) (power.CostModel, error) {
 		return power.NewTimeOfUse(spec.Alphas, spec.Rates, spec.Price), nil
 	case "superlinear":
 		return power.Superlinear{Alpha: spec.Alpha, Rate: spec.Rate, Fan: spec.Fan, Exp: spec.Exp}, nil
+	case "speedscaled":
+		if err := checkFleet(spec, procs); err != nil {
+			return nil, fmt.Errorf("speedscaled: %w", err)
+		}
+		return power.NewSpeedScaled(spec.Wakes, spec.Speeds, spec.Exp), nil
+	case "sleepstate":
+		if spec.Wake < 0 || spec.Rate < 0 || spec.Idle < 0 {
+			return nil, fmt.Errorf("sleepstate: rates (%g, %g, %g) must all be >= 0",
+				spec.Wake, spec.Rate, spec.Idle)
+		}
+		return power.NewSleepState(spec.Wake, spec.Rate, spec.Idle), nil
+	case "composite":
+		if err := checkFleet(spec, procs); err != nil {
+			return nil, fmt.Errorf("composite: %w", err)
+		}
+		if len(spec.Price) < horizon {
+			return nil, fmt.Errorf("composite: %d prices for horizon %d", len(spec.Price), horizon)
+		}
+		for t, pr := range spec.Price {
+			if pr < 0 {
+				return nil, fmt.Errorf("composite: price[%d] = %g, want >= 0", t, pr)
+			}
+		}
+		c := power.NewComposite(spec.Wakes, spec.Speeds, spec.Exp, spec.Price)
+		for _, s := range spec.Blocked {
+			if s.Proc < 0 || s.Proc >= procs || s.Time < 0 || s.Time >= horizon {
+				return nil, fmt.Errorf("composite: blocked slot %+v outside %d procs × horizon %d",
+					s, procs, horizon)
+			}
+			c.Block(s.Proc, s.Time)
+		}
+		return c.Freeze(), nil
 	case "unavailable":
 		baseSpec := spec.Base
 		if baseSpec == nil {
@@ -161,6 +199,32 @@ func BuildCost(spec CostSpec, procs, horizon int) (power.CostModel, error) {
 	default:
 		return nil, fmt.Errorf("unknown cost model %q", spec.Model)
 	}
+}
+
+// checkFleet validates the Wakes/Speeds fleet description shared by the
+// speed-scaled and composite models: matching lengths covering every
+// processor, strictly positive speeds, non-negative wakes (the power
+// constructors panic on these — input errors must come back as errors
+// instead, and a negative wake would yield negative costs in violation
+// of the CostModel contract).
+func checkFleet(spec CostSpec, procs int) error {
+	if len(spec.Wakes) != len(spec.Speeds) {
+		return fmt.Errorf("%d wakes vs %d speeds", len(spec.Wakes), len(spec.Speeds))
+	}
+	if len(spec.Wakes) < procs {
+		return fmt.Errorf("%d wakes for %d processors", len(spec.Wakes), procs)
+	}
+	for p, s := range spec.Speeds {
+		if s <= 0 {
+			return fmt.Errorf("speed[%d] = %g, want > 0", p, s)
+		}
+	}
+	for p, w := range spec.Wakes {
+		if w < 0 {
+			return fmt.Errorf("wake[%d] = %g, want >= 0", p, w)
+		}
+	}
+	return nil
 }
 
 // BuildRequest turns a wire spec into a runnable Request. The instance

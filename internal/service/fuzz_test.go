@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSpecTooBig bounds the instances a fuzz iteration will actually
+// build: the codec must survive any input, but building million-slot
+// models per iteration would make the fuzzer useless.
+func fuzzSpecTooBig(spec InstanceSpec) bool {
+	if spec.Procs > 8 || spec.Horizon > 64 || len(spec.Jobs) > 32 {
+		return true
+	}
+	slots := 0
+	for _, j := range spec.Jobs {
+		slots += len(j.Allowed)
+	}
+	return slots > 256
+}
+
+// FuzzWireCodec round-trips the service wire spec: any JSON the decoder
+// accepts must build without panicking, and the canonical re-encoding
+// must be a fixed point — decode(marshal(spec)) digests identically to
+// spec, else the result cache and the per-worker model reuse would key
+// the same instance two ways. Covers every cost-model variant including
+// the scenario-matrix fields (wakes/speeds/exp, wake/idle, composite
+// blocked masks). Run long with:
+//
+//	go test -run '^$' -fuzz FuzzWireCodec ./internal/service
+func FuzzWireCodec(f *testing.F) {
+	f.Add([]byte(`{"procs":1,"horizon":4,"cost":{"model":"affine","alpha":2,"rate":1},` +
+		`"jobs":[{"allowed":[{"proc":0,"time":1},{"proc":0,"time":2}]}]}`))
+	f.Add([]byte(`{"procs":2,"horizon":3,"cost":{"model":"speedscaled","wakes":[2,3],"speeds":[1,2],"exp":3},` +
+		`"jobs":[{"value":2,"allowed":[{"proc":1,"time":0}]}],"mode":"prize","z":1.5}`))
+	f.Add([]byte(`{"procs":1,"horizon":3,"cost":{"model":"sleepstate","wake":10,"rate":2,"idle":1},` +
+		`"jobs":[{"allowed":[{"proc":0,"time":2}]}],"workers":4}`))
+	f.Add([]byte(`{"procs":2,"horizon":4,"cost":{"model":"composite","wakes":[1,1],"speeds":[1,2],"exp":2,` +
+		`"price":[1,2,3,4],"blocked":[{"proc":0,"time":2}]},"jobs":[{"allowed":[{"proc":1,"time":1}]}]}`))
+	f.Add([]byte(`{"procs":1,"horizon":4,"cost":{"model":"unavailable","base":{"model":"timeofuse",` +
+		`"alphas":[1],"rates":[1],"price":[1,1,1,1]},"blocked":[{"proc":0,"time":0}]},` +
+		`"jobs":[{"allowed":[{"proc":0,"time":3}]}],"mode":"prize-exact","z":1}`))
+	f.Add([]byte(`{"procs":-3,"horizon":-1,"cost":{"model":"superlinear","exp":-0.5},"jobs":[{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		var spec InstanceSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // not a spec; nothing to check
+		}
+		if fuzzSpecTooBig(spec) {
+			return
+		}
+		req, err := BuildRequest(spec) // must not panic on anything decodable
+		if err != nil {
+			return // rejected inputs are fine; rejecting is the codec's job
+		}
+		digest := InstanceDigest(spec)
+		if req.InstanceKey != digest {
+			t.Fatalf("BuildRequest key %q != InstanceDigest %q", req.InstanceKey, digest)
+		}
+		canon, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted spec failed: %v", err)
+		}
+		var spec2 InstanceSpec
+		if err := json.Unmarshal(canon, &spec2); err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if d2 := InstanceDigest(spec2); d2 != digest {
+			t.Fatalf("digest not a fixed point: %q -> %q\ncanonical: %s", digest, d2, canon)
+		}
+		if _, err := BuildRequest(spec2); err != nil {
+			t.Fatalf("canonical re-decode rejected: %v\ncanonical: %s", err, canon)
+		}
+	})
+}

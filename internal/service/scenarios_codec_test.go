@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/power"
+)
+
+// TestBuildCostScenarioModels pins the wire form of the scenario-matrix
+// models: formula, +Inf masking, and frozen serving state.
+func TestBuildCostScenarioModels(t *testing.T) {
+	ss, err := BuildCost(CostSpec{
+		Model: "speedscaled", Wakes: []float64{2, 3}, Speeds: []float64{1, 2}, Exp: 3,
+	}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Cost(1, 0, 2); got != 3+8*2 {
+		t.Fatalf("speedscaled cost = %g, want 19", got)
+	}
+
+	sl, err := BuildCost(CostSpec{Model: "sleepstate", Wake: 10, Rate: 2, Idle: 1}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sl.Cost(0, 1, 4); got != 10+2*3 {
+		t.Fatalf("sleepstate cost = %g, want 16", got)
+	}
+	if _, ok := power.AsScheduleCoster(sl); !ok {
+		t.Fatal("wire-built sleepstate lost its schedule-aware hook")
+	}
+
+	co, err := BuildCost(CostSpec{
+		Model: "composite", Wakes: []float64{1, 1}, Speeds: []float64{1, 2}, Exp: 2,
+		Price:   []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		Blocked: []SlotSpec{{Proc: 0, Time: 2}},
+	}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.Cost(1, 0, 2); got != 1+4*3 {
+		t.Fatalf("composite cost = %g, want 13", got)
+	}
+	if got := co.Cost(0, 1, 3); !math.IsInf(got, 1) {
+		t.Fatalf("composite blocked cost = %g, want +Inf", got)
+	}
+	// The codec must hand back a frozen mask.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Block on a wire-built composite should panic")
+		}
+	}()
+	co.(*power.Composite).Block(1, 1)
+}
+
+func TestBuildCostScenarioValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		spec CostSpec
+	}{
+		{"speedscaled mismatched fleet", CostSpec{Model: "speedscaled",
+			Wakes: []float64{1}, Speeds: []float64{1, 2}, Exp: 3}},
+		{"speedscaled too few procs", CostSpec{Model: "speedscaled",
+			Wakes: []float64{1}, Speeds: []float64{1}, Exp: 3}},
+		{"speedscaled zero speed", CostSpec{Model: "speedscaled",
+			Wakes: []float64{1, 1}, Speeds: []float64{1, 0}, Exp: 3}},
+		{"speedscaled negative wake", CostSpec{Model: "speedscaled",
+			Wakes: []float64{-1, 1}, Speeds: []float64{1, 1}, Exp: 3}},
+		{"sleepstate negative rate", CostSpec{Model: "sleepstate", Wake: 1, Rate: -1}},
+		{"composite negative wake", CostSpec{Model: "composite",
+			Wakes: []float64{-1, 1}, Speeds: []float64{1, 1}, Exp: 2,
+			Price: []float64{1, 1, 1, 1, 1, 1, 1, 1}}},
+		{"composite negative price", CostSpec{Model: "composite",
+			Wakes: []float64{1, 1}, Speeds: []float64{1, 1}, Exp: 2,
+			Price: []float64{1, 1, -1, 1, 1, 1, 1, 1}}},
+		{"composite short price", CostSpec{Model: "composite",
+			Wakes: []float64{1, 1}, Speeds: []float64{1, 1}, Exp: 2, Price: []float64{1}}},
+		{"composite blocked out of range", CostSpec{Model: "composite",
+			Wakes: []float64{1, 1}, Speeds: []float64{1, 1}, Exp: 2,
+			Price:   []float64{1, 1, 1, 1, 1, 1, 1, 1},
+			Blocked: []SlotSpec{{Proc: 0, Time: 99}}}},
+		{"composite bad proc", CostSpec{Model: "composite",
+			Wakes: []float64{1, 1}, Speeds: []float64{1, 1}, Exp: 2,
+			Price:   []float64{1, 1, 1, 1, 1, 1, 1, 1},
+			Blocked: []SlotSpec{{Proc: 7, Time: 0}}}},
+	}
+	for _, tc := range bad {
+		if _, err := BuildCost(tc.spec, 2, 8); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestCompositeSessionSpecsDoNotAlias is the composite-model face of the
+// TestSessionSpecsDoNotAlias regression: two sessions created from one
+// caller-built composite spec must not share blocked-list backing arrays,
+// or a block mutation in one corrupts the other's digest.
+func TestCompositeSessionSpecsDoNotAlias(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close(context.Background())
+	spec := InstanceSpec{
+		Procs: 1, Horizon: 4,
+		Cost: CostSpec{
+			Model: "composite", Wakes: []float64{1}, Speeds: []float64{1}, Exp: 2,
+			Price:   []float64{1, 1, 1, 1},
+			Blocked: make([]SlotSpec, 0, 4), // spare capacity invites aliasing
+		},
+		Jobs: []JobSpec{{Allowed: []SlotSpec{{Proc: 0, Time: 0}, {Proc: 0, Time: 1}}}},
+	}
+	idA, digA, err := svc.CreateSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, digB, err := svc.CreateSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digA != digB {
+		t.Fatalf("identical specs digest differently: %s vs %s", digA, digB)
+	}
+	mutA, err := svc.MutateSession(idA, []MutationSpec{{Op: "block", Slot: &SlotSpec{Proc: 0, Time: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutB, err := svc.MutateSession(idB, []MutationSpec{{Op: "block", Slot: &SlotSpec{Proc: 0, Time: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutA == mutB {
+		t.Fatal("different mutations produced the same digest — sessions alias")
+	}
+	infoA, err := svc.SessionInfo(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA.Digest != mutA {
+		t.Fatalf("session A digest moved from %s to %s after B's mutation", mutA, infoA.Digest)
+	}
+}

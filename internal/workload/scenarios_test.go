@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func TestHeterogeneousCluster(t *testing.T) {
+	ins, planted := HeterogeneousCluster(rand.New(rand.NewSource(5)), 3, 30, 3, 3)
+	if _, ok := ins.Cost.(power.SpeedScaled); !ok {
+		t.Fatalf("cost model is %T, want power.SpeedScaled", ins.Cost)
+	}
+	if planted <= 0 {
+		t.Fatalf("planted cost %g, want > 0", planted)
+	}
+	if n := len(ins.Jobs); n != 3*2*3 {
+		t.Fatalf("%d jobs, want 18", n)
+	}
+	s, err := sched.ScheduleAll(ins, sched.Options{})
+	if err != nil {
+		t.Fatalf("planted instance unschedulable: %v", err)
+	}
+	if err := s.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: same seed, same instance.
+	again, plantedAgain := HeterogeneousCluster(rand.New(rand.NewSource(5)), 3, 30, 3, 3)
+	if plantedAgain != planted || len(again.Jobs) != len(ins.Jobs) {
+		t.Fatal("generator not deterministic per seed")
+	}
+}
+
+func TestBurstySleep(t *testing.T) {
+	const wake = 20.0
+	ins, planted := BurstySleep(rand.New(rand.NewSource(9)), 2, 40, 2, 3, wake)
+	model, ok := ins.Cost.(power.SleepState)
+	if !ok {
+		t.Fatalf("cost model is %T, want power.SleepState", ins.Cost)
+	}
+	if model.Wake != wake {
+		t.Fatalf("wake = %g, want %g", model.Wake, wake)
+	}
+	// Wake-cost-dominated: the planted cost is mostly wake payments.
+	wakeShare := wake * float64(2*2) / planted
+	if wakeShare < 0.5 {
+		t.Fatalf("wake share of planted cost = %.2f, want the dominating term", wakeShare)
+	}
+	s, err := sched.ScheduleAll(ins, sched.Options{})
+	if err != nil {
+		t.Fatalf("planted instance unschedulable: %v", err)
+	}
+	if err := s.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	// The schedule-aware hook never reports more than the additive cost.
+	if hw := s.HardwareCost(ins); hw > s.Cost+1e-9 {
+		t.Fatalf("HardwareCost %g exceeds additive cost %g", hw, s.Cost)
+	}
+}

@@ -101,6 +101,54 @@ func PlantedSchedule(rng *rand.Rand, p PlantedParams) (*sched.Instance, float64)
 	return ins, planted
 }
 
+// HeterogeneousCluster plants a feasible schedule on a speed-scaled
+// fleet (power.SpeedScaled): speeds ramp from 1 up to maxSpeed across
+// the processors with seeded jitter, wake costs ramp the other way, so
+// slow-but-frugal machines compete with fast-but-hungry ones under the
+// s^alpha energy law. Returns the instance and the planted cost (an
+// upper bound on OPT under the same model).
+func HeterogeneousCluster(rng *rand.Rand, procs, horizon, jobsPerInterval int, alpha float64) (*sched.Instance, float64) {
+	if procs <= 0 {
+		panic(fmt.Sprintf("workload: HeterogeneousCluster Procs = %d, want > 0", procs))
+	}
+	wake := make([]float64, procs)
+	speed := make([]float64, procs)
+	const maxSpeed = 2.0
+	for p := range speed {
+		frac := 0.0
+		if procs > 1 {
+			frac = float64(p) / float64(procs-1)
+		}
+		speed[p] = 1 + frac*(maxSpeed-1) + rng.Float64()*0.1
+		wake[p] = 4 - 2*frac // fast machines wake cheap, run hot
+	}
+	cost := power.NewSpeedScaled(wake, speed, alpha)
+	return PlantedSchedule(rng, PlantedParams{
+		Procs: procs, Horizon: horizon,
+		IntervalsPerProc: 2, JobsPerInterval: jobsPerInterval,
+		ExtraSlotsPerJob: 2, ValueSpread: 3,
+		Cost: cost,
+	})
+}
+
+// BurstySleep plants the wake-cost-dominated bursty regime for the
+// sleep-state model (power.SleepState): jobs cluster into `bursts` tight
+// windows per processor separated by long idle stripes, and the model's
+// wake cost dwarfs the per-slot burn, so whether to power down between
+// bursts or keep the processor alive dominates the objective. Returns
+// the instance and the planted additive cost; the model's
+// schedule-aware hook (Schedule.HardwareCost) credits kept-alive gaps
+// below it.
+func BurstySleep(rng *rand.Rand, procs, horizon, bursts, jobsPerBurst int, wake float64) (*sched.Instance, float64) {
+	cost := power.NewSleepState(wake, 0.5, 0.25)
+	return PlantedSchedule(rng, PlantedParams{
+		Procs: procs, Horizon: horizon,
+		IntervalsPerProc: bursts, JobsPerInterval: jobsPerBurst,
+		ExtraSlotsPerJob: 1,
+		Cost:             cost,
+	})
+}
+
 // MarketTrace synthesizes a day-ahead electricity price curve over the
 // horizon: a base load with morning and evening peaks plus seeded noise,
 // strictly positive (DESIGN.md substitution 1).

@@ -239,10 +239,25 @@ type (
 	TimeOfUse = power.TimeOfUse
 	// Superlinear adds a fan/cooling premium growing in interval length.
 	Superlinear = power.Superlinear
+	// SpeedScaled is the heterogeneous speed-scaling model: processor p
+	// burns Speed[p]^Alpha energy per awake slot plus a per-proc wake cost.
+	SpeedScaled = power.SpeedScaled
+	// SleepState models idle-keepalive vs power-down-and-rewake machines;
+	// it also implements ScheduleCoster, the schedule-aware costing hook.
+	SleepState = power.SleepState
+	// Composite stacks time-of-use pricing × speed-scaled heterogeneity ×
+	// unavailability in one model.
+	Composite = power.Composite
 	// Unavailable marks blocked (processor, slot) pairs at infinite cost.
 	Unavailable = power.Unavailable
 	// CostFunc adapts a plain function to CostModel.
 	CostFunc = power.Func
+	// Span is a half-open busy interval, the unit ScheduleCoster prices.
+	Span = power.Span
+	// ScheduleCoster is the schedule-aware costing hook: models that can
+	// price a processor's busy spans jointly (cross-interval gap effects)
+	// implement it; Schedule.HardwareCost consumes it.
+	ScheduleCoster = power.ScheduleCoster
 )
 
 // NewTimeOfUse builds a market-curve model from per-slot prices.
@@ -253,6 +268,25 @@ func NewTimeOfUse(alpha, rate, price []float64) *TimeOfUse {
 // NewUnavailable wraps a base model with an unavailability mask.
 func NewUnavailable(base CostModel, horizon int) *Unavailable {
 	return power.NewUnavailable(base, horizon)
+}
+
+// NewSpeedScaled builds the heterogeneous speed-scaling model (per-proc
+// wake costs and speeds, shared power-law exponent).
+func NewSpeedScaled(wake, speed []float64, alpha float64) SpeedScaled {
+	return power.NewSpeedScaled(wake, speed, alpha)
+}
+
+// NewSleepState builds the sleep-state model (wake cost, busy rate, idle
+// keep-alive rate).
+func NewSleepState(wake, busy, idle float64) SleepState {
+	return power.NewSleepState(wake, busy, idle)
+}
+
+// NewComposite builds the composite model: time-of-use prices × speed
+// heterogeneity, with an unavailability mask populated via Block and
+// sealed with Freeze.
+func NewComposite(wake, speed []float64, alpha float64, price []float64) *Composite {
+	return power.NewComposite(wake, speed, alpha, price)
 }
 
 // ---- Submodular machinery (thesis §2.1) ----

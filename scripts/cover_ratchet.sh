@@ -1,0 +1,41 @@
+#!/bin/sh
+# Coverage ratchet: fails if total `go test -cover` coverage drops more
+# than 0.5 points below the committed baseline. The baseline only moves
+# by committing a new number, so coverage can drift up freely but can
+# only be traded away deliberately.
+#
+# Usage: scripts/cover_ratchet.sh            # check against the baseline
+#        scripts/cover_ratchet.sh -update    # rewrite the baseline file
+#
+# The baseline lives in scripts/coverage_baseline.txt (a single number,
+# the total percentage). The tolerance absorbs run-to-run wobble from
+# timing-dependent paths (drain races, context cancellations).
+set -eu
+cd "$(dirname "$0")/.."
+baseline_file="scripts/coverage_baseline.txt"
+tolerance="0.5"
+
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+go test -count=1 -coverprofile="$profile" ./... > /dev/null
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+[ -n "$total" ] || { echo "cover_ratchet: could not compute total coverage" >&2; exit 1; }
+
+if [ "${1:-}" = "-update" ]; then
+    echo "$total" > "$baseline_file"
+    echo "cover_ratchet: baseline set to ${total}%"
+    exit 0
+fi
+
+[ -f "$baseline_file" ] || { echo "cover_ratchet: missing $baseline_file (run with -update to create)" >&2; exit 1; }
+baseline="$(cat "$baseline_file")"
+awk -v cur="$total" -v base="$baseline" -v tol="$tolerance" 'BEGIN {
+    floor = base - tol
+    if (cur + 0 < floor + 0) {
+        printf "cover_ratchet: FAIL — total coverage %.1f%% is below the ratchet floor %.1f%% (baseline %.1f%% - %.1f)\n", cur, floor, base, tol
+        exit 1
+    }
+    printf "cover_ratchet: OK — total coverage %.1f%% (baseline %.1f%%, floor %.1f%%)\n", cur, base, floor
+    if (cur + 0 > base + tol + 0)
+        printf "cover_ratchet: note — coverage is %.1f pts above baseline; consider committing a new baseline via scripts/cover_ratchet.sh -update\n", cur - base
+}'
