@@ -30,7 +30,11 @@
 // whose spec leaves "workers" unset). The server drains gracefully on
 // SIGINT/SIGTERM: in-flight and queued requests are answered, new ones
 // are refused with 503. Session endpoints (/v1/session …) expose the
-// mutable solver-session lifecycle.
+// mutable solver-session lifecycle. With -state-dir every session is
+// journaled to disk (write-ahead, -fsync always|never, compacted every
+// -compact-every mutations) and restored on restart — kill -9 included;
+// -solve-timeout bounds each solve (503 + Retry-After past it, tuned by
+// -retry-after), and GET /metrics exposes Prometheus-text counters.
 //
 // Simulate flags: -trace poisson|diurnal|frontloaded, -cost
 // affine|speedscaled|sleepstate|composite, -procs, -horizon, -jobs,
@@ -112,15 +116,43 @@ func serveMain(args []string) error {
 	probeWorkers := fs.Int("probe-workers", 0, "default per-request greedy parallelism when the spec leaves \"workers\" unset (0 = serial requests)")
 	maxSessions := fs.Int("max-sessions", 0, "live solver-session cap (0 = 1024, negative disables sessions)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	stateDir := fs.String("state-dir", "", "durable session state directory (empty = in-memory sessions only)")
+	fsync := fs.String("fsync", "", "journal fsync policy: always | never (default always)")
+	compactEvery := fs.Int("compact-every", 0, "fold a session journal to a snapshot after this many mutations (0 = 64, negative disables)")
+	solveTimeout := fs.Duration("solve-timeout", 60*time.Second, "per-request solve budget; past it the client gets 503 + Retry-After (0 = unbounded)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After advertised on 429/503 (0 = 1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, ProbeWorkers: *probeWorkers,
 		MaxSessions: *maxSessions,
+		StateDir:    *stateDir, Fsync: *fsync, CompactEvery: *compactEvery,
+		SolveTimeout: *solveTimeout, RetryAfter: *retryAfter,
 	})
-	server := &http.Server{Addr: *addr, Handler: service.NewHTTPHandler(svc)}
+	if err != nil {
+		return err
+	}
+	if *stateDir != "" {
+		st := svc.Stats()
+		log.Printf("powersched: state dir %s: restored %d sessions, dropped %d corrupt journals",
+			*stateDir, st.SessionsRestored, st.JournalsDropped)
+	}
+	// WriteTimeout must outlast the solve budget, or the server kills
+	// responses the service would still have answered within its SLA.
+	writeTimeout := time.Duration(0)
+	if *solveTimeout > 0 {
+		writeTimeout = *solveTimeout + 15*time.Second
+	}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHTTPHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -137,7 +169,7 @@ func serveMain(args []string) error {
 	log.Printf("powersched: draining (budget %s)", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := server.Shutdown(drainCtx)
+	err = server.Shutdown(drainCtx)
 	if cerr := svc.Close(drainCtx); err == nil {
 		err = cerr
 	}

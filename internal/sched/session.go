@@ -2,6 +2,8 @@ package sched
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/budget"
 	"repro/internal/power"
@@ -203,6 +205,80 @@ func (s *Session) AdvanceHorizon(h int) error {
 	s.ins.Horizon = h
 	if s.opts.Policy == AllPairs {
 		s.cached = nil
+	}
+	return nil
+}
+
+// WarmHint is one exported warm-start record: the capped empty-set gain
+// last measured for a candidate interval, stamped with the job churn at
+// measurement time.
+type WarmHint struct {
+	Interval Interval
+	Gain     float64
+	Stamp    int
+}
+
+// WarmState packages a session's warm-start knowledge for durable
+// snapshots: the recorded hints, the churn counter their stamps are
+// relative to, and whether a successful solve has happened (cold
+// sessions export Solved == false and restore cold). The schedule a
+// session computes never depends on this state — hints are sound upper
+// bounds that only cut oracle evals — so restoring without it is always
+// correct, just slower.
+type WarmState struct {
+	Hints  []WarmHint
+	Churn  int
+	Solved bool
+}
+
+// ExportWarmState snapshots the session's warm-start records. Hints are
+// sorted (proc, start, end) so the export is canonical: equal sessions
+// export byte-identical state.
+func (s *Session) ExportWarmState() WarmState {
+	ws := WarmState{Churn: s.churn, Solved: s.solved}
+	for iv, rec := range s.hints {
+		ws.Hints = append(ws.Hints, WarmHint{Interval: iv, Gain: rec.gain, Stamp: rec.stamp})
+	}
+	sort.Slice(ws.Hints, func(i, j int) bool {
+		a, b := ws.Hints[i].Interval, ws.Hints[j].Interval
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.End < b.End
+	})
+	return ws
+}
+
+// ImportWarmState seeds a freshly created session (no solves, no
+// mutations yet) with previously exported warm state, so a restored
+// session's first Solve is warm-started exactly like the live session's
+// next Solve would have been. Soundness guards: a hint with NaN, ±Inf,
+// or negative gain, or a stamp ahead of the imported churn, could
+// under-bound a true gain and silently break greedy exactness — such
+// state is rejected wholesale and the caller should restore cold.
+func (s *Session) ImportWarmState(ws WarmState) error {
+	if s.solved || s.churn != 0 || len(s.hints) != 0 {
+		return fmt.Errorf("sched: warm state must be imported into a fresh session")
+	}
+	if ws.Churn < 0 {
+		return fmt.Errorf("sched: warm state churn %d < 0", ws.Churn)
+	}
+	for _, h := range ws.Hints {
+		if math.IsNaN(h.Gain) || math.IsInf(h.Gain, 0) || h.Gain < 0 {
+			return fmt.Errorf("sched: warm hint for %v has unsound gain %g", h.Interval, h.Gain)
+		}
+		if h.Stamp < 0 || h.Stamp > ws.Churn {
+			return fmt.Errorf("sched: warm hint for %v stamped %d outside churn %d", h.Interval, h.Stamp, ws.Churn)
+		}
+	}
+	s.churn = ws.Churn
+	s.solved = ws.Solved
+	s.hints = make(map[Interval]hintRec, len(ws.Hints))
+	for _, h := range ws.Hints {
+		s.hints[h.Interval] = hintRec{gain: h.Gain, stamp: h.Stamp}
 	}
 	return nil
 }

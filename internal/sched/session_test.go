@@ -2,6 +2,8 @@ package sched
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -299,5 +301,117 @@ func TestSessionParallelWorkersIdentical(t *testing.T) {
 		} else if !equalSchedules(ref, got) {
 			t.Fatalf("workers=%d: schedule differs from serial", workers)
 		}
+	}
+}
+
+// TestSessionWarmStateRoundTrip: exporting a solved session's warm state
+// into a fresh session over the same instance must (a) keep the restored
+// session's solve byte-identical to the original's, and (b) actually
+// warm-start it — fewer oracle evals than a cold from-scratch session —
+// including across a post-restore mutation.
+func TestSessionWarmStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ins := plantedSessionInstance(rng, 4)
+	opts := Options{}
+
+	live, err := NewSession(ins, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Value: 1, Allowed: []SlotKey{{Proc: 0, Time: 1}, {Proc: 1, Time: 2}}}
+	if _, err := live.AddJob(job); err != nil {
+		t.Fatal(err)
+	}
+	want, err := live.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := live.ExportWarmState()
+	if !ws.Solved || len(ws.Hints) == 0 {
+		t.Fatalf("export = %+v, want solved state with hints", ws)
+	}
+	restored, err := NewSession(live.Instance(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportWarmState(ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSchedules(got, want) {
+		t.Fatalf("restored solve differs:\n got %+v\nwant %+v", got, want)
+	}
+	cold, err := NewSession(live.Instance(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.LastEvals() >= cold.LastEvals() {
+		t.Fatalf("restored solve spent %d evals, cold %d — warm state did not warm",
+			restored.LastEvals(), cold.LastEvals())
+	}
+
+	// Mutate both and re-solve: still byte-identical, churn accounting intact.
+	for _, s := range []*Session{live, restored} {
+		if err := s.SetUnavailable(0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2, err := live.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := restored.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSchedules(g2, w2) {
+		t.Fatalf("post-restore mutation diverged:\n got %+v\nwant %+v", g2, w2)
+	}
+}
+
+// TestSessionWarmStateValidation: imports into used sessions and unsound
+// hints are rejected; a rejected import leaves the session cold and
+// fully usable.
+func TestSessionWarmStateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ins := plantedSessionInstance(rng, 3)
+	sess, err := NewSession(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ImportWarmState(WarmState{}); err == nil {
+		t.Fatal("import into a solved session accepted")
+	}
+
+	iv := Interval{Proc: 0, Start: 0, End: 1}
+	bad := []WarmState{
+		{Churn: -1},
+		{Hints: []WarmHint{{Interval: iv, Gain: -1}}},
+		{Hints: []WarmHint{{Interval: iv, Gain: math.NaN()}}},
+		{Hints: []WarmHint{{Interval: iv, Gain: math.Inf(1)}}},
+		{Churn: 2, Hints: []WarmHint{{Interval: iv, Gain: 1, Stamp: 5}}},
+	}
+	for i, ws := range bad {
+		fresh, err := NewSession(ins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.ImportWarmState(ws); err == nil {
+			t.Fatalf("unsound warm state %d accepted: %+v", i, ws)
+		}
+		checkAgainstFromScratch(t, fresh, Options{}, fmt.Sprintf("after rejected import %d", i))
 	}
 }

@@ -1,7 +1,12 @@
 package service
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -75,4 +80,159 @@ func FuzzWireCodec(f *testing.F) {
 			t.Fatalf("canonical re-decode rejected: %v\ncanonical: %s", err, canon)
 		}
 	})
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the journal reader and,
+// when they replay, drives the full recovery path. The pinned
+// contracts: ReplayJournal never panics; a replayable journal's state
+// re-encodes to a journal that replays back to the same state (the
+// recovery re-compaction fixed point); and restoring the replayed
+// snapshot either builds a working session or fails with a clean error
+// — never a half-built one. Run long with:
+//
+//	go test -run '^$' -fuzz FuzzJournalReplay ./internal/service
+func FuzzJournalReplay(f *testing.F) {
+	// Inline seeds cover the shape classes; the committed corpus under
+	// testdata/fuzz/FuzzJournalReplay holds real journal bytes
+	// (regenerate with REGEN_JOURNAL_CORPUS=1 go test -run TestRegenJournalFuzzCorpus).
+	f.Add([]byte(""))
+	f.Add([]byte("not a journal\n"))
+	f.Add([]byte(`{"v":1,"t":"snapshot","sum":"00"}` + "\n"))
+	f.Add([]byte(`{"v":2,"t":"snapshot","snap":{"id":"s1"},"sum":"00"}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 16384 {
+			return
+		}
+		rj, err := ReplayJournal(data) // must not panic on anything
+		if err != nil {
+			return // corrupt is a fine answer
+		}
+		if len(rj.Muts) != len(rj.Digests) {
+			t.Fatalf("replay: %d mutations but %d digests", len(rj.Muts), len(rj.Digests))
+		}
+		if rj.Snap == nil {
+			if len(rj.Muts) != 0 {
+				t.Fatal("replay produced mutations without a snapshot")
+			}
+			return // torn-create journal: no state, no error
+		}
+		// Fixed point: re-encode the replayed state and replay it back.
+		var buf bytes.Buffer
+		line, err := encodeRecord(journalRecord{T: "snapshot", Snap: rj.Snap})
+		if err != nil {
+			t.Fatalf("re-encoding replayed snapshot: %v", err)
+		}
+		buf.Write(line)
+		for i := range rj.Muts {
+			line, err := encodeRecord(journalRecord{T: "mutate", Mut: &rj.Muts[i], Digest: rj.Digests[i]})
+			if err != nil {
+				t.Fatalf("re-encoding replayed mutation %d: %v", i, err)
+			}
+			buf.Write(line)
+		}
+		rj2, err := ReplayJournal(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded journal does not replay: %v", err)
+		}
+		if rj2.Truncated || rj2.Snap == nil || len(rj2.Muts) != len(rj.Muts) {
+			t.Fatalf("re-encoded journal replays differently: %+v vs %+v", rj2, rj)
+		}
+		if InstanceDigest(rj2.Snap.Spec) != InstanceDigest(rj.Snap.Spec) {
+			t.Fatal("re-encoded snapshot digests differently")
+		}
+		// Recovery path: restore the snapshot and apply the tail, exactly
+		// as recoverOne does, on a workerless service shell. Bound the
+		// work first — solving is superlinear in jobs × slots, and a fuzz
+		// iteration must stay in the milliseconds.
+		spec := rj.Snap.Spec
+		slots := 0
+		for _, j := range spec.Jobs {
+			slots += len(j.Allowed)
+		}
+		if spec.Procs > 4 || spec.Horizon > 24 || len(spec.Jobs) > 12 || slots > 48 || len(rj.Muts) > 8 {
+			return
+		}
+		for _, m := range rj.Muts {
+			if m.Job != nil && len(m.Job.Allowed) > 8 {
+				return
+			}
+			if m.Horizon > 24 {
+				return
+			}
+		}
+		s := &Service{cfg: Config{Logf: func(string, ...any) {}}.withDefaults()}
+		h, err := s.restoreHandle(rj.Snap)
+		if err != nil {
+			return // clean refusal
+		}
+		for _, m := range rj.Muts {
+			if err := h.apply(m); err != nil {
+				return // replay divergence is recoverOne's clean-drop path
+			}
+			h.digest = InstanceDigest(h.spec)
+		}
+		// A fully replayed session must actually solve or fail cleanly.
+		h.sess.Solve() //nolint:errcheck // both outcomes are fine; panics are not
+	})
+}
+
+// TestRegenJournalFuzzCorpus rewrites the committed FuzzJournalReplay
+// seed corpus from real journals: a live multi-record journal, a
+// compacted one, a torn tail, and a checksum-corrupt record. Skipped
+// unless REGEN_JOURNAL_CORPUS=1 — run it after changing the journal
+// format and commit the result.
+func TestRegenJournalFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_JOURNAL_CORPUS") == "" {
+		t.Skip("set REGEN_JOURNAL_CORPUS=1 to rewrite testdata/fuzz/FuzzJournalReplay")
+	}
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, StateDir: dir, CompactEvery: -1, Logf: func(string, ...any) {}}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := svc.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []MutationSpec{
+		{Op: "add_job", Job: ptr(extraJob())},
+		{Op: "block", Slot: &SlotSpec{Proc: 0, Time: 11}},
+		{Op: "advance_horizon", Horizon: 14},
+	}
+	for _, m := range muts {
+		if _, err := svc.MutateSession(id, []MutationSpec{m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := os.ReadFile(filepath.Join(dir, "sessions", id+journalExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(context.Background()); err != nil { // flush compacts
+		t.Fatal(err)
+	}
+	compacted, err := os.ReadFile(filepath.Join(dir, "sessions", id+journalExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := live[:len(live)-17]
+	corrupt := append([]byte(nil), live...)
+	corrupt[len(corrupt)/3] ^= 0x20
+
+	out := filepath.Join("testdata", "fuzz", "FuzzJournalReplay")
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"seed_live_journal": live,
+		"seed_compacted":    compacted,
+		"seed_torn_tail":    torn,
+		"seed_corrupt":      corrupt,
+	} {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")"
+		if err := os.WriteFile(filepath.Join(out, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -1,10 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
 
 	"repro/internal/sched"
 )
@@ -56,8 +60,23 @@ type MutateRequest struct {
 //
 // Infeasible instances (unschedulable, value unreachable) answer 422 with
 // the error in the body; malformed requests answer 400; unknown session
-// ids answer 404; a draining service answers 503.
+// ids answer 404; a draining service, a storage failure, or a timed-out
+// solve answers 503; the session cap answers 429. Every 429/503 carries
+// a Retry-After header (Config.RetryAfter) so well-behaved clients back
+// off instead of hammering a draining or degraded server. GET /metrics
+// exposes the Stats counters in Prometheus text format.
 func NewHTTPHandler(svc *Service) http.Handler {
+	retryAfter := strconv.Itoa(int(math.Ceil(svc.cfg.RetryAfter.Seconds())))
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v) //nolint:errcheck // the response is already committed
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
 		var spec InstanceSpec
@@ -125,7 +144,7 @@ func NewHTTPHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest})
 	})
 	mux.HandleFunc("POST /v1/session/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
-		res := svc.SolveSession(r.PathValue("id"))
+		res := svc.SolveSession(r.Context(), r.PathValue("id"))
 		writeJSON(w, statusFor(res.Err), toResponse(res))
 	})
 	mux.HandleFunc("GET /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -149,15 +168,46 @@ func NewHTTPHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, svc.Stats())
+	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the response is already committed
+// writeMetrics renders the Stats snapshot in the Prometheus text
+// exposition format, durability counters included — the scrape surface
+// the ROADMAP's distributed tier watches.
+func writeMetrics(w io.Writer, st Stats) {
+	type metric struct {
+		name, kind, help string
+		value            float64
+	}
+	metrics := []metric{
+		{"powersched_workers", "gauge", "Solver goroutines in the pool.", float64(st.Workers)},
+		{"powersched_queue_depth", "gauge", "Requests waiting in the queue right now.", float64(st.QueueDepth)},
+		{"powersched_queue_cap", "gauge", "Configured queue bound.", float64(st.QueueCap)},
+		{"powersched_cache_size", "gauge", "Entries in the digest result cache.", float64(st.CacheSize)},
+		{"powersched_sessions", "gauge", "Live solver sessions.", float64(st.Sessions)},
+		{"powersched_submitted_total", "counter", "Requests accepted into the service.", float64(st.Submitted)},
+		{"powersched_completed_total", "counter", "Requests answered (solved or cached).", float64(st.Completed)},
+		{"powersched_errors_total", "counter", "Requests answered with an error.", float64(st.Errors)},
+		{"powersched_canceled_total", "counter", "Requests abandoned before solving (timeouts included).", float64(st.Canceled)},
+		{"powersched_cache_hits_total", "counter", "Requests answered from the digest cache.", float64(st.CacheHits)},
+		{"powersched_cache_misses_total", "counter", "Requests solved and cached.", float64(st.CacheMisses)},
+		{"powersched_model_reuses_total", "counter", "Worker reuses of a prebuilt model.", float64(st.ModelReuses)},
+		{"powersched_journal_records_total", "counter", "Journal records written (snapshots included).", float64(st.JournalRecords)},
+		{"powersched_journal_fsyncs_total", "counter", "Journal fsyncs issued.", float64(st.JournalFsyncs)},
+		{"powersched_journal_compactions_total", "counter", "Journals folded to a snapshot record.", float64(st.JournalCompactions)},
+		{"powersched_sessions_restored_total", "counter", "Sessions replayed from journals at startup.", float64(st.SessionsRestored)},
+		{"powersched_journals_dropped_corrupt_total", "counter", "Journals quarantined as corrupt at startup.", float64(st.JournalsDropped)},
+		{"powersched_journal_errors_total", "counter", "Live-path journal failures (each drops its session).", float64(st.JournalErrors)},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			m.name, m.help, m.name, m.kind,
+			m.name, strconv.FormatFloat(m.value, 'g', -1, 64))
+	}
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
@@ -182,7 +232,8 @@ func statusFor(err error) int {
 		return http.StatusOK
 	case errors.Is(err, sched.ErrUnschedulable), errors.Is(err, sched.ErrValueUnreachable):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDurability),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNoSession):
 		return http.StatusNotFound

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Service) {
@@ -183,5 +184,109 @@ func TestHTTPClosedService(t *testing.T) {
 	status, _ := postJSON(t, srv.URL+"/v1/schedule", scheduleBody)
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", status)
+	}
+}
+
+// TestHTTPRetryAfterAndMetrics: every 429/503 carries the configured
+// Retry-After header, and GET /metrics renders the counters in
+// Prometheus text format.
+func TestHTTPRetryAfterAndMetrics(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxSessions: 1, RetryAfter: 7 * time.Second})
+	srv := httptest.NewServer(NewHTTPHandler(svc))
+	defer srv.Close()
+
+	status, _ := postJSON(t, srv.URL+"/v1/session", scheduleBody)
+	if status != http.StatusOK {
+		t.Fatalf("create: %d", status)
+	}
+	resp, err := http.Post(srv.URL+"/v1/session", "application/json", strings.NewReader(scheduleBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("429 Retry-After = %q, want \"7\"", got)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	metrics := buf.String()
+	for _, want := range []string{
+		"# TYPE powersched_sessions gauge",
+		"powersched_sessions 1",
+		"# TYPE powersched_journal_records_total counter",
+		"powersched_journal_records_total 0",
+		"powersched_sessions_restored_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A draining service answers 503, also with Retry-After.
+	svc.Close(context.Background())
+	resp2, err := http.Post(srv.URL+"/v1/schedule", "application/json", strings.NewReader(scheduleBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained schedule: %d, want 503", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("503 Retry-After = %q, want \"7\"", got)
+	}
+}
+
+// TestHTTPSolveTimeout: a solve past Config.SolveTimeout answers 503 +
+// Retry-After while the underlying solve finishes in the background and
+// primes the cache — the advertised retry actually works.
+func TestHTTPSolveTimeout(t *testing.T) {
+	svc := New(Config{Workers: 1, SolveTimeout: time.Nanosecond})
+	srv := httptest.NewServer(NewHTTPHandler(svc))
+	defer srv.Close()
+	defer svc.Close(context.Background())
+
+	status, body := postJSON(t, srv.URL+"/v1/session", scheduleBody)
+	if status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/session/"+created.ID+"/solve", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out solve: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("timed-out solve has no Retry-After")
+	}
+	// The abandoned solve still completes under the session lock and
+	// populates the digest cache; a patient retry succeeds from there.
+	h, err := svc.session(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock() // blocks until the background solve releases the session
+	key := cacheKey(Request{InstanceKey: h.digest, Mode: ModeAll, Opts: h.opts})
+	h.mu.Unlock()
+	if _, ok := svc.cacheGet(key); !ok {
+		t.Fatal("abandoned solve did not prime the digest cache")
 	}
 }

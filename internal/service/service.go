@@ -5,10 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/sched"
 )
 
@@ -88,8 +91,46 @@ type Config struct {
 	// model plus warm-start state, so an unbounded registry would let
 	// clients that never DELETE grow the process without limit;
 	// CreateSession refuses past the cap until sessions are dropped.
+	// Recovery restores every intact journal even past the cap — acked
+	// state is never discarded to satisfy a tuning knob.
 	MaxSessions int
+
+	// StateDir, when set, makes sessions durable: each session owns an
+	// append-only journal under <StateDir>/sessions, replayed by Open at
+	// startup, so a crashed or redeployed process answers session
+	// solve/info exactly as the uncrashed one would have.
+	StateDir string
+	// Fsync selects the journal fsync policy: FsyncAlways (default)
+	// syncs after every record — survives power loss; FsyncNever leaves
+	// flushing to the OS — survives process crashes (kill -9 included,
+	// the page cache persists) but not machine crashes. Creation,
+	// compaction, and the Close drain flush always sync.
+	Fsync string
+	// CompactEvery folds the journal back to one snapshot record after
+	// this many accepted mutations (default 64; negative disables
+	// periodic compaction).
+	CompactEvery int
+	// FS is the filesystem under StateDir (default the real one,
+	// faultfs.OS). Tests inject faultfs.Fault failpoints through it.
+	FS faultfs.FS
+	// SolveTimeout bounds each stateless submission and each session
+	// solve via context (0 = unbounded). A request past the deadline is
+	// answered 503 + Retry-After; a solve already on a worker runs to
+	// completion and still populates the caches.
+	SolveTimeout time.Duration
+	// RetryAfter is advertised in the Retry-After header on 429/503
+	// responses (default 1s).
+	RetryAfter time.Duration
+	// Logf sinks recovery and journal diagnostics (default log.Printf;
+	// the tests inject a recorder).
+	Logf func(format string, args ...any)
 }
+
+// Fsync policy names for Config.Fsync.
+const (
+	FsyncAlways = "always"
+	FsyncNever  = "never"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -110,6 +151,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 1024
 	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncAlways
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 64
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS{}
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -127,6 +183,14 @@ type Stats struct {
 	ModelReuses uint64 `json:"model_reuses"` // worker reused a prebuilt model
 	CacheSize   int    `json:"cache_size"`   // entries currently cached
 	Sessions    int    `json:"sessions"`     // live solver sessions
+
+	// Durability counters (all zero without Config.StateDir).
+	JournalRecords     uint64 `json:"journal_records"`          // records appended (incl. snapshots)
+	JournalFsyncs      uint64 `json:"journal_fsyncs"`           // fsyncs issued
+	JournalCompactions uint64 `json:"journal_compactions"`      // journals folded to a snapshot
+	SessionsRestored   uint64 `json:"sessions_restored"`        // sessions replayed at startup
+	JournalsDropped    uint64 `json:"journals_dropped_corrupt"` // journals quarantined as corrupt
+	JournalErrors      uint64 `json:"journal_errors"`           // live-path journal failures (session dropped)
 }
 
 // ErrClosed is returned by Submit after Close has begun.
@@ -153,6 +217,10 @@ type Service struct {
 
 	submitted, completed, errs, canceled atomic.Uint64
 	cacheHits, cacheMisses, modelReuses  atomic.Uint64
+
+	journalRecords, journalFsyncs, journalCompactions atomic.Uint64
+	sessionsRestored, journalsDroppedCorrupt          atomic.Uint64
+	journalErrors                                     atomic.Uint64
 }
 
 type task struct {
@@ -167,9 +235,30 @@ type cacheEntry struct {
 }
 
 // New starts a service with cfg's worker pool. The caller owns the
-// returned service and must Close it to release the workers.
+// returned service and must Close it to release the workers. With
+// Config.StateDir set, startup recovery can fail — use Open to handle
+// that error; New panics on it.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a service and, when Config.StateDir is set, replays every
+// session journal found there: each becomes a live session answering
+// solve/info exactly as before the restart, or is dropped cleanly with
+// a logged error and a journals_dropped_corrupt tick — never served
+// from corrupt state. Open fails only on environment errors (state dir
+// unusable, bad Fsync value); per-journal corruption never fails
+// startup.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Fsync != FsyncAlways && cfg.Fsync != FsyncNever {
+		return nil, fmt.Errorf("service: unknown fsync policy %q (want %q or %q)",
+			cfg.Fsync, FsyncAlways, FsyncNever)
+	}
 	s := &Service{
 		cfg:      cfg,
 		queue:    make(chan *task, cfg.QueueDepth),
@@ -177,11 +266,16 @@ func New(cfg Config) *Service {
 		lru:      list.New(),
 		sessions: map[string]*sessionHandle{},
 	}
+	if s.durable() && cfg.MaxSessions >= 0 {
+		if err := s.recoverSessions(); err != nil {
+			return nil, err
+		}
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Submit solves one request through the pool and blocks until it is
@@ -199,6 +293,11 @@ func (s *Service) Submit(ctx context.Context, req Request) (*sched.Schedule, err
 func (s *Service) Do(ctx context.Context, req Request) Result {
 	if req.Instance == nil {
 		return Result{Err: errors.New("service: nil instance")}
+	}
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
 	}
 	s.closeMu.RLock()
 	closed := s.closed
@@ -279,17 +378,27 @@ func (s *Service) enqueue(ctx context.Context, t *task) error {
 }
 
 // Close drains the service: new submissions are refused, queued requests
-// are still answered, and Close returns once every worker has exited (or
-// ctx expires, leaving the drain running in the background).
+// are still answered, and Close returns once every worker has exited and
+// — on a durable service — every session journal has been folded to a
+// final snapshot (capturing warm-start hints) and fsynced, so the next
+// Open restores sessions warm. If ctx expires first, the drain keeps
+// running in the background.
 func (s *Service) Close(ctx context.Context) error {
 	s.closeMu.Lock()
-	if !s.closed {
+	first := !s.closed
+	if first {
 		s.closed = true
 		close(s.queue)
 	}
 	s.closeMu.Unlock()
 	done := make(chan struct{})
 	go func() {
+		if first && s.durable() {
+			// After the closed flag flips, sessionsOpen refuses new
+			// mutations; in-flight ones finish under their session lock
+			// before the flush takes it.
+			s.flushJournals()
+		}
 		s.workers.Wait()
 		close(done)
 	}()
@@ -322,6 +431,13 @@ func (s *Service) Stats() Stats {
 		ModelReuses: s.modelReuses.Load(),
 		CacheSize:   cached,
 		Sessions:    liveSessions,
+
+		JournalRecords:     s.journalRecords.Load(),
+		JournalFsyncs:      s.journalFsyncs.Load(),
+		JournalCompactions: s.journalCompactions.Load(),
+		SessionsRestored:   s.sessionsRestored.Load(),
+		JournalsDropped:    s.journalsDroppedCorrupt.Load(),
+		JournalErrors:      s.journalErrors.Load(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -54,19 +55,83 @@ type MutationSpec struct {
 
 // sessionHandle is one live session: the solver state plus the canonical
 // spec whose digest keys the result cache. The mutex serializes mutations
-// and solves (sched.Session is single-threaded by contract).
+// and solves (sched.Session is single-threaded by contract). On a
+// durable service the handle also owns the session's write-ahead
+// journal (journal.go), guarded by the same mutex.
 type sessionHandle struct {
-	mu     sync.Mutex
-	sess   *sched.Session
-	spec   InstanceSpec
-	digest string
-	opts   sched.Options
+	mu      sync.Mutex
+	sess    *sched.Session
+	spec    InstanceSpec
+	digest  string
+	opts    sched.Options
+	journal *sessionJournal
+}
+
+// newHandle validates a wire spec and builds an unregistered session
+// handle — the shared core of CreateSession and snapshot restore.
+func (s *Service) newHandle(spec InstanceSpec) (*sessionHandle, error) {
+	if spec.Mode != "" && spec.Mode != "all" {
+		return nil, fmt.Errorf("service: sessions solve mode \"all\", got %q", spec.Mode)
+	}
+	if spec.Improve {
+		return nil, errors.New("service: sessions do not support the improve pass")
+	}
+	req, err := BuildRequest(spec)
+	if err != nil {
+		return nil, err
+	}
+	if req.Opts.Workers == 0 && s.cfg.ProbeWorkers > 0 {
+		req.Opts.Workers = s.cfg.ProbeWorkers
+	}
+	sess, err := sched.NewSession(req.Instance, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	// Own every slice a mutation appends to: the jobs list and the cost
+	// chain's blocked lists. Without the copy, two sessions created from
+	// one caller-built spec could share a backing array and a "block"
+	// append in one would corrupt the other's spec — and therefore the
+	// digest its cached schedules are keyed by.
+	return &sessionHandle{
+		sess:   sess,
+		spec:   cloneInstanceSpec(spec),
+		digest: req.InstanceKey,
+		opts:   req.Opts,
+	}, nil
+}
+
+// registerSession installs a handle under id, enforcing the MaxSessions
+// cap and id uniqueness, and keeps the id sequence ahead of any
+// restored id so future CreateSession calls cannot collide.
+func (s *Service) registerSession(id string, h *sessionHandle) error {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return fmt.Errorf("%w: %d live", ErrTooManySessions, s.cfg.MaxSessions)
+	}
+	if _, ok := s.sessions[id]; ok {
+		return fmt.Errorf("service: session %q already exists", id)
+	}
+	s.sessions[id] = h
+	var seq uint64
+	if _, err := fmt.Sscanf(id, "s%d", &seq); err == nil {
+		for {
+			cur := s.sessSeq.Load()
+			if cur >= seq || s.sessSeq.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+	}
+	return nil
 }
 
 // CreateSession opens a session from a wire spec and returns its id and
 // the digest of its (initial) instance. Sessions solve with ScheduleAll
 // semantics: specs selecting a prize mode or the Improve pass are
 // rejected. The ProbeWorkers default applies as on the stateless path.
+// On a durable service the creation is journaled (and fsynced) before
+// it is acknowledged; a storage failure answers ErrDurability and no
+// session exists.
 func (s *Service) CreateSession(spec InstanceSpec) (id, digest string, err error) {
 	if err := s.sessionsOpen(); err != nil {
 		return "", "", err
@@ -74,44 +139,25 @@ func (s *Service) CreateSession(spec InstanceSpec) (id, digest string, err error
 	if s.cfg.MaxSessions < 0 {
 		return "", "", errors.New("service: sessions disabled (MaxSessions < 0)")
 	}
-	if spec.Mode != "" && spec.Mode != "all" {
-		return "", "", fmt.Errorf("service: sessions solve mode \"all\", got %q", spec.Mode)
-	}
-	if spec.Improve {
-		return "", "", errors.New("service: sessions do not support the improve pass")
-	}
-	req, err := BuildRequest(spec)
+	h, err := s.newHandle(spec)
 	if err != nil {
 		return "", "", err
-	}
-	if req.Opts.Workers == 0 && s.cfg.ProbeWorkers > 0 {
-		req.Opts.Workers = s.cfg.ProbeWorkers
-	}
-	sess, err := sched.NewSession(req.Instance, req.Opts)
-	if err != nil {
-		return "", "", err
-	}
-	// Own every slice a mutation appends to: the jobs list and the cost
-	// chain's blocked lists. Without the copy, two sessions created from
-	// one caller-built spec could share a backing array and a "block"
-	// append in one would corrupt the other's spec — and therefore the
-	// digest its cached schedules are keyed by.
-	spec.Jobs = append([]JobSpec(nil), spec.Jobs...)
-	spec.Cost = cloneCostSpec(spec.Cost)
-	h := &sessionHandle{
-		sess:   sess,
-		spec:   spec,
-		digest: req.InstanceKey,
-		opts:   req.Opts,
 	}
 	id = fmt.Sprintf("s%06d", s.sessSeq.Add(1))
-	s.sessMu.Lock()
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		s.sessMu.Unlock()
-		return "", "", fmt.Errorf("%w: %d live", ErrTooManySessions, s.cfg.MaxSessions)
+	if s.durable() {
+		j, jerr := s.createJournal(h.snapshotLocked(id))
+		if jerr != nil {
+			s.journalErrors.Add(1)
+			return "", "", fmt.Errorf("%w: %v", ErrDurability, jerr)
+		}
+		h.journal = j
 	}
-	s.sessions[id] = h
-	s.sessMu.Unlock()
+	if err := s.registerSession(id, h); err != nil {
+		if h.journal != nil {
+			h.journal.discard()
+		}
+		return "", "", err
+	}
 	return id, h.digest, nil
 }
 
@@ -149,9 +195,14 @@ func (s *Service) session(id string) (*sessionHandle, error) {
 }
 
 // MutateSession applies the mutations in order and returns the digest of
-// the session's new instance. On error the session reflects the
-// successfully applied prefix (and the returned digest matches it) —
-// mutations are not transactional.
+// the session's new instance. On a rejected mutation the session
+// reflects the successfully applied prefix (and the returned digest
+// matches it) — mutations are not transactional. On a durable service
+// each accepted mutation is journaled before the batch is acknowledged;
+// if the journal cannot keep up with the acknowledged state (write or
+// fsync failure), the session is dropped entirely — clients get
+// ErrDurability now and ErrNoSession after — rather than risking a
+// restart that silently serves a stale prefix the client saw mutate.
 func (s *Service) MutateSession(id string, muts []MutationSpec) (digest string, err error) {
 	if err := s.sessionsOpen(); err != nil {
 		return "", err
@@ -167,9 +218,42 @@ func (s *Service) MutateSession(id string, muts []MutationSpec) (digest string, 
 			h.digest = InstanceDigest(h.spec)
 			return h.digest, fmt.Errorf("service: mutation %d (%s): %w", i, m.Op, err)
 		}
+		h.digest = InstanceDigest(h.spec)
+		if h.journal != nil {
+			if jerr := h.journal.appendMutation(m, h.digest); jerr != nil {
+				s.dropPoisonedLocked(id, h)
+				return "", fmt.Errorf("%w: mutation %d: %v (session dropped)", ErrDurability, i, jerr)
+			}
+		}
 	}
-	h.digest = InstanceDigest(h.spec)
+	if h.journal != nil && s.cfg.CompactEvery > 0 && h.journal.mutsSince >= s.cfg.CompactEvery {
+		fatal, cerr := h.journal.compact(h.snapshotLocked(id))
+		if cerr != nil {
+			if fatal {
+				s.dropPoisonedLocked(id, h)
+				return "", fmt.Errorf("%w: compaction: %v (session dropped)", ErrDurability, cerr)
+			}
+			// The old journal is intact and appendable; compaction retries
+			// after the next CompactEvery mutations.
+			s.logf("powersched: session %s: compaction failed (%v); keeping journal", id, cerr)
+		}
+	}
 	return h.digest, nil
+}
+
+// dropPoisonedLocked removes a session whose journal can no longer
+// record acknowledged state (h.mu held). The journal file is removed so
+// a restart does not resurrect a session the client was told is gone.
+func (s *Service) dropPoisonedLocked(id string, h *sessionHandle) {
+	s.journalErrors.Add(1)
+	if h.journal != nil {
+		h.journal.discard()
+		h.journal = nil
+	}
+	s.sessMu.Lock()
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
+	s.logf("powersched: session %s dropped: journal cannot record acknowledged state", id)
 }
 
 // apply performs one mutation on both the solver session and the
@@ -228,7 +312,13 @@ func (h *sessionHandle) apply(m MutationSpec) error {
 // stateless requests for the same instance share the entries — and a
 // mutated session always re-solves, because its digest moved with the
 // mutation. Cache misses are solved warm on the session and cached.
-func (s *Service) SolveSession(id string) Result {
+//
+// The solve is bounded by ctx and Config.SolveTimeout: past the
+// deadline the caller gets ctx's error (503 + Retry-After over HTTP)
+// while the solve itself runs to completion under the session lock and
+// still populates the session and digest caches — a retry after
+// Retry-After is typically a cache hit.
+func (s *Service) SolveSession(ctx context.Context, id string) Result {
 	if err := s.sessionsOpen(); err != nil {
 		return Result{Err: err}
 	}
@@ -236,8 +326,28 @@ func (s *Service) SolveSession(id string) Result {
 	if err != nil {
 		return Result{Err: err}
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	done := make(chan Result, 1)
+	go func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		done <- s.solveSessionLocked(h)
+	}()
+	select {
+	case res := <-done:
+		return res
+	case <-ctx.Done():
+		s.canceled.Add(1)
+		return Result{Err: fmt.Errorf("service: session solve abandoned: %w", ctx.Err())}
+	}
+}
+
+// solveSessionLocked runs the cache-or-solve step; h.mu must be held.
+func (s *Service) solveSessionLocked(h *sessionHandle) Result {
 	s.submitted.Add(1)
 	key := cacheKey(Request{InstanceKey: h.digest, Mode: ModeAll, Opts: h.opts})
 	if hit, ok := s.cacheGet(key); ok {
@@ -287,14 +397,22 @@ func (s *Service) SessionInfo(id string) (SessionInfo, error) {
 	}, nil
 }
 
-// DropSession discards a session. Cached results survive: they are keyed
-// by content digest, not by session.
+// DropSession discards a session and its journal. Cached results
+// survive: they are keyed by content digest, not by session.
 func (s *Service) DropSession(id string) error {
 	s.sessMu.Lock()
-	defer s.sessMu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	h, ok := s.sessions[id]
+	if !ok {
+		s.sessMu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
 	delete(s.sessions, id)
+	s.sessMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.journal != nil {
+		h.journal.discard()
+		h.journal = nil
+	}
 	return nil
 }

@@ -71,11 +71,11 @@ func TestSessionCacheMutationInterplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := svc.SolveSession(id)
+	first := svc.SolveSession(context.Background(), id)
 	if first.Err != nil || first.CacheHit {
 		t.Fatalf("first solve: err=%v hit=%v", first.Err, first.CacheHit)
 	}
-	again := svc.SolveSession(id)
+	again := svc.SolveSession(context.Background(), id)
 	if again.Err != nil || !again.CacheHit {
 		t.Fatalf("unchanged re-solve: err=%v hit=%v, want cache hit", again.Err, again.CacheHit)
 	}
@@ -91,7 +91,7 @@ func TestSessionCacheMutationInterplay(t *testing.T) {
 	if digest1 == digest0 {
 		t.Fatal("mutation did not change the digest")
 	}
-	mutated := svc.SolveSession(id)
+	mutated := svc.SolveSession(context.Background(), id)
 	if mutated.Err != nil {
 		t.Fatal(mutated.Err)
 	}
@@ -124,7 +124,7 @@ func TestSessionCacheMutationInterplay(t *testing.T) {
 	if d0 != digest0 {
 		t.Fatalf("replayed create digest %s != %s", d0, digest0)
 	}
-	if res := svc.SolveSession(id2); res.Err != nil || !res.CacheHit {
+	if res := svc.SolveSession(context.Background(), id2); res.Err != nil || !res.CacheHit {
 		t.Fatalf("replayed initial solve: err=%v hit=%v, want hit", res.Err, res.CacheHit)
 	}
 	d1, err := svc.MutateSession(id2, muts)
@@ -134,7 +134,7 @@ func TestSessionCacheMutationInterplay(t *testing.T) {
 	if d1 != digest1 {
 		t.Fatalf("replayed mutation digest %s != %s", d1, digest1)
 	}
-	if res := svc.SolveSession(id2); res.Err != nil || !res.CacheHit {
+	if res := svc.SolveSession(context.Background(), id2); res.Err != nil || !res.CacheHit {
 		t.Fatalf("replayed mutated solve: err=%v hit=%v, want hit", res.Err, res.CacheHit)
 	}
 }
@@ -151,7 +151,7 @@ func TestSessionSharedCacheWithStateless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := svc.SolveSession(id); res.Err != nil {
+	if res := svc.SolveSession(context.Background(), id); res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	req, err := BuildRequest(sessionSpec())
@@ -174,7 +174,7 @@ func TestSessionLifecycleErrors(t *testing.T) {
 		Cost: CostSpec{Alpha: 1}, Jobs: []JobSpec{{Allowed: []SlotSpec{{Proc: 0, Time: 0}}}}}); err == nil {
 		t.Fatal("prize-mode session accepted")
 	}
-	if res := svc.SolveSession("nope"); !errors.Is(res.Err, ErrNoSession) {
+	if res := svc.SolveSession(context.Background(), "nope"); !errors.Is(res.Err, ErrNoSession) {
 		t.Fatalf("unknown id err = %v", res.Err)
 	}
 	if _, err := svc.MutateSession("nope", nil); !errors.Is(err, ErrNoSession) {
@@ -191,7 +191,7 @@ func TestSessionLifecycleErrors(t *testing.T) {
 		t.Fatal("out-of-range removal accepted")
 	}
 	// The session survives rejected mutations and still solves.
-	if res := svc.SolveSession(id); res.Err != nil {
+	if res := svc.SolveSession(context.Background(), id); res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	if err := svc.DropSession(id); err != nil {
@@ -300,7 +300,7 @@ func TestSessionHTTPRoundTrip(t *testing.T) {
 	if delResp.StatusCode != http.StatusOK {
 		t.Fatalf("delete: %d", delResp.StatusCode)
 	}
-	if res := svc.SolveSession(created.ID); !errors.Is(res.Err, ErrNoSession) {
+	if res := svc.SolveSession(context.Background(), created.ID); !errors.Is(res.Err, ErrNoSession) {
 		t.Fatalf("solve after delete err = %v, want 404-mapped ErrNoSession", res.Err)
 	}
 	resp2, err := http.Get(ts.URL + "/v1/session/" + created.ID)
@@ -328,7 +328,7 @@ func TestSessionConcurrentSolves(t *testing.T) {
 				return
 			}
 			for i := 0; i < 5; i++ {
-				if res := svc.SolveSession(id); res.Err != nil {
+				if res := svc.SolveSession(context.Background(), id); res.Err != nil {
 					done <- fmt.Errorf("g%d solve %d: %w", g, i, res.Err)
 					return
 				}
@@ -381,7 +381,7 @@ func TestSessionResourceControls(t *testing.T) {
 	if _, err := svc.MutateSession(id3, []MutationSpec{{Op: "add_job", Job: ptr(extraJob())}}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("mutate after close err = %v, want ErrClosed", err)
 	}
-	if res := svc.SolveSession(id3); !errors.Is(res.Err, ErrClosed) {
+	if res := svc.SolveSession(context.Background(), id3); !errors.Is(res.Err, ErrClosed) {
 		t.Fatalf("solve after close err = %v, want ErrClosed", res.Err)
 	}
 }

@@ -189,6 +189,10 @@ type (
 	ServiceMutation = service.MutationSpec
 	// ServiceSessionInfo snapshots one live service session.
 	ServiceSessionInfo = service.SessionInfo
+	// SessionSnapshot is a session's durable wire state — the canonical
+	// snapshot/restore codec behind the write-ahead journal and the
+	// roadmap's shard-migration work.
+	SessionSnapshot = service.SessionSnapshot
 )
 
 // Algorithm selectors for ServiceRequest.Mode.
@@ -204,9 +208,24 @@ var ErrServiceClosed = service.ErrClosed
 // ErrNoSession is returned for unknown or dropped service-session ids.
 var ErrNoSession = service.ErrNoSession
 
+// ErrDurability marks journal I/O failures on a durable service's live
+// path; the affected session is dropped rather than served unjournaled.
+var ErrDurability = service.ErrDurability
+
+// ErrSnapshotCorrupt marks snapshots and journals that fail
+// verification; they are never restored.
+var ErrSnapshotCorrupt = service.ErrSnapshotCorrupt
+
 // NewService starts the concurrent batch-scheduling service. The caller
 // owns it and must Close it to release the worker pool.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService is NewService with startup recovery: when
+// ServiceConfig.StateDir is set, every session journal found there is
+// replayed — sessions answer solve/info exactly as before the restart,
+// or are dropped cleanly — and the error (unusable state dir, bad fsync
+// policy) is returned instead of panicking.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
 
 // NewServiceHandler binds a service to its JSON-over-HTTP surface
 // (/v1/schedule, /v1/batch, /healthz, /stats) — what `powersched serve`

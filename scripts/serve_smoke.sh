@@ -2,23 +2,32 @@
 # End-to-end smoke test for the serving layer: start `powersched serve`,
 # wait for /healthz, post the same instance twice, and check that the
 # response schedules the jobs and that the second request registered as a
-# digest-cache hit in /stats. Usage: scripts/serve_smoke.sh [port]
+# digest-cache hit in /stats. Then the durability phase: restart with
+# -state-dir, create and mutate a session, kill -9 the server, restart on
+# the same state dir, and check the restored session answers with the
+# same digest and a byte-identical schedule. Usage: scripts/serve_smoke.sh [port]
 set -eu
 port="${1:-8931}"
 base="http://127.0.0.1:$port"
 bin="$(mktemp -d)/powersched"
+state="$(mktemp -d)"
 pid=""
-trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")"' EXIT
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")" "$state"' EXIT
 
 go build -o "$bin" ./cmd/powersched
+
+wait_healthy() {
+    for i in $(seq 1 50); do
+        if curl -fsS "$base/healthz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$pid" 2>/dev/null; then echo "serve exited early" >&2; exit 1; fi
+        sleep 0.1
+    done
+    curl -fsS "$base/healthz" >/dev/null
+}
+
 "$bin" serve -addr "127.0.0.1:$port" -workers 2 &
 pid=$!
-
-for i in $(seq 1 50); do
-    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
-    if ! kill -0 "$pid" 2>/dev/null; then echo "serve exited early" >&2; exit 1; fi
-    sleep 0.1
-done
+wait_healthy
 curl -fsS "$base/healthz" | grep -q '"ok": true'
 
 req='{
@@ -50,4 +59,44 @@ batch_ok="$(curl -fsS -X POST -d "{\"requests\": [$req, $req]}" "$base/v1/batch"
 # Graceful drain: SIGTERM must stop the server cleanly.
 kill -TERM "$pid"
 wait "$pid"
-echo "serve smoke OK"
+pid=""
+
+# --- Durability phase: session state survives kill -9. ---
+"$bin" serve -addr "127.0.0.1:$port" -workers 2 -state-dir "$state" &
+pid=$!
+wait_healthy
+
+created="$(curl -fsS -X POST -d "$req" "$base/v1/session")"
+sid="$(echo "$created" | jq -r .id)"
+[ -n "$sid" ] && [ "$sid" != "null" ] || { echo "session create failed: $created" >&2; exit 1; }
+
+mutated="$(curl -fsS -X POST -d '{"mutations":[{"op":"add_job","job":{"allowed":[{"proc":1,"time":5},{"proc":1,"time":6}]}}]}' \
+    "$base/v1/session/$sid/mutate")"
+pre_digest="$(echo "$mutated" | jq -r .digest)"
+[ -n "$pre_digest" ] && [ "$pre_digest" != "null" ] || { echo "mutate failed: $mutated" >&2; exit 1; }
+pre_solve="$(curl -fsS -X POST "$base/v1/session/$sid/solve" | jq -c .schedule)"
+[ "$pre_solve" != "null" ] || { echo "pre-crash solve failed" >&2; exit 1; }
+
+# The crash: no drain, no flush — only the journal survives.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+"$bin" serve -addr "127.0.0.1:$port" -workers 2 -state-dir "$state" &
+pid=$!
+wait_healthy
+
+post_digest="$(curl -fsS "$base/v1/session/$sid" | jq -r .digest)"
+[ "$post_digest" = "$pre_digest" ] \
+    || { echo "restored digest $post_digest != pre-crash $pre_digest" >&2; exit 1; }
+post_solve="$(curl -fsS -X POST "$base/v1/session/$sid/solve" | jq -c .schedule)"
+[ "$post_solve" = "$pre_solve" ] \
+    || { echo "restored solve differs: $post_solve vs $pre_solve" >&2; exit 1; }
+
+curl -fsS "$base/metrics" | grep -q '^powersched_sessions_restored_total 1$' \
+    || { echo "/metrics does not report the restored session" >&2; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "serve smoke OK (cache + crash-restart)"
