@@ -1,0 +1,164 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis core: an Analyzer is a named check
+// over one type-checked package, a Pass hands it the syntax trees and
+// type information, and diagnostics are positioned messages.
+//
+// The build environment for this repository is hermetic (no module
+// proxy), so the real x/tools framework is unavailable; this package
+// mirrors its API shape closely enough that the powerschedlint
+// analyzers would port to the real framework by changing imports. Only
+// the features the suite needs exist: no facts, no suggested fixes, no
+// cross-package analysis.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a single package
+// via its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, shown in diagnostics
+	Doc  string // one-paragraph contract description
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files of the package, with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional "file:line:col: [analyzer] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FileOf returns the syntax tree containing pos, or nil.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run applies analyzers to pkg and returns their findings sorted by
+// position. Analyzer errors (not diagnostics) abort the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// PkgFuncCall resolves call as a call of a package-level function
+// accessed through an imported package name (e.g. rand.Intn, os.Open)
+// and returns the callee package's import path and the function name.
+// Method calls and locally defined functions return ok=false.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// Annotation looks for a "//powersched:<marker>" comment on the same
+// line as pos or on the line directly above it, returning the text
+// after the marker (the reason) and whether it was found.
+func Annotation(fset *token.FileSet, file *ast.File, pos token.Pos, marker string) (reason string, ok bool) {
+	if file == nil {
+		return "", false
+	}
+	want := fset.Position(pos).Line
+	full := "powersched:" + marker
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, full) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if line == want || line == want-1 {
+				return strings.TrimSpace(strings.TrimPrefix(text, full)), true
+			}
+		}
+	}
+	return "", false
+}
+
+// CommentHasMarker reports whether any comment in the group carries the
+// powersched annotation marker, returning the trailing reason text.
+func CommentHasMarker(cg *ast.CommentGroup, marker string) (reason string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	full := "powersched:" + marker
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, full) {
+			return strings.TrimSpace(strings.TrimPrefix(text, full)), true
+		}
+	}
+	return "", false
+}

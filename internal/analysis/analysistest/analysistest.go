@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over committed source fixtures
+// and checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A line expecting a
+// diagnostic carries a trailing comment of the form
+//
+//	// want `regexp`            (backquoted, the common case)
+//	// want "regexp" `another`  (several expectations on one line)
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by exactly one diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one `// want` entry: a position and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, comparing diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loaded, err := loader.LoadDir(dir, pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		diags, err := analysis.Run(loaded, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		wants := collectWants(t, loaded.Fset, loaded.Files)
+		checkDiagnostics(t, pkg, diags, wants)
+	}
+}
+
+// collectWants extracts the expectations from every fixture comment.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(text, "want ")
+				matches := wantRE.FindAllStringSubmatch(body, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						unq, err := strconv.Unquote("\"" + m[2] + "\"")
+						if err != nil {
+							t.Fatalf("%s: bad want string %q: %v", pos, m[2], err)
+						}
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkDiagnostics pairs diagnostics with expectations one-to-one.
+func checkDiagnostics(t *testing.T, pkg string, diags []analysis.Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		if w := claim(wants, d); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: want %q: no diagnostic matched", pkg, filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// claim finds and consumes the first unmatched expectation on the
+// diagnostic's line whose pattern matches its message.
+func claim(wants []*expectation, d analysis.Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Fixture: a package outside the determinism-critical set (the timing
+// harness). Global rand and clock reads are allowed here, so the
+// analyzer must stay silent.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timedTrial() (int, time.Duration) {
+	start := time.Now()
+	v := rand.Intn(100)
+	return v, time.Since(start)
+}

@@ -1,0 +1,110 @@
+// Package errsentinel enforces the durability error contract: errors
+// constructed on internal/service's journal/snapshot paths must wrap an
+// exported sentinel (ErrDurability, ErrSnapshotCorrupt) or another
+// error via %w, so callers — the HTTP surface mapping ErrDurability to
+// 503 + Retry-After, the recovery loop mapping ErrSnapshotCorrupt to
+// quarantine-and-continue — can dispatch with errors.Is instead of
+// string matching.
+//
+// In internal/service files whose name marks them as durability code
+// (journal*, snapshot*, durab*), non-test:
+//
+//   - fmt.Errorf with a literal format string lacking %w is flagged: it
+//     severs the error chain, and errors.Is(err, ErrDurability) at the
+//     HTTP boundary silently stops matching;
+//   - errors.New inside a function body is flagged: an ad-hoc error on
+//     a durability path belongs under a sentinel. Package-level
+//     errors.New remains the way sentinels themselves are declared.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errsentinel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "durability-path errors in internal/service must wrap the exported sentinels via %w",
+	Run:  run,
+}
+
+// durabilityFile reports whether a file belongs to the durability layer
+// by its committed naming convention.
+func durabilityFile(name string) bool {
+	base := filepath.Base(name)
+	return strings.HasPrefix(base, "journal") ||
+		strings.HasPrefix(base, "snapshot") ||
+		strings.HasPrefix(base, "durab")
+}
+
+func run(pass *analysis.Pass) error {
+	if path.Base(pass.Pkg.Path()) != "service" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if !durabilityFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		// Only function bodies: package-level var blocks are where the
+		// sentinels themselves are declared with errors.New.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := analysis.PkgFuncCall(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "errors" && name == "New":
+					pass.Reportf(call.Pos(),
+						"naked errors.New on a durability path: return or wrap an exported sentinel (ErrDurability, ErrSnapshotCorrupt) so callers can errors.Is")
+				case pkgPath == "fmt" && name == "Errorf":
+					if lit := formatLiteral(call); lit != "" && !strings.Contains(lit, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w on a durability path severs the sentinel chain: wrap ErrDurability or ErrSnapshotCorrupt (or the underlying error) with %%w")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// formatLiteral returns the call's first argument if it is a string
+// literal (possibly a concatenation of literals), else "".
+func formatLiteral(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	return literalString(call.Args[0])
+}
+
+func literalString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			return v.Value
+		}
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD {
+			return literalString(v.X) + literalString(v.Y)
+		}
+	case *ast.ParenExpr:
+		return literalString(v.X)
+	}
+	return ""
+}

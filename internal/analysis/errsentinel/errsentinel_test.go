@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errsentinel"
+)
+
+func TestErrsentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "service")
+}

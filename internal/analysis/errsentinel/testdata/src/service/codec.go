@@ -1,0 +1,16 @@
+// Fixture: a service file outside the durability layer — wire-codec
+// validation errors are not required to wrap the storage sentinels, so
+// the analyzer must stay silent here.
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+func decodeSpec(kind string) error {
+	if kind == "" {
+		return errors.New("codec: empty kind")
+	}
+	return fmt.Errorf("codec: unknown kind %q", kind)
+}

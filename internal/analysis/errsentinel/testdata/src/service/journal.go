@@ -1,0 +1,43 @@
+// Fixture: a durability-layer file (journal*) of the service package.
+// Ad-hoc errors must be flagged; sentinel declarations and %w-wrapped
+// chains must not.
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel declarations are the sanctioned use of
+// errors.New — this is how the contract's sentinels come to exist.
+var (
+	ErrDurability      = errors.New("service: durable storage failure")
+	ErrSnapshotCorrupt = errors.New("service: snapshot corrupt")
+)
+
+// badNew mints an untyped error on the durability path: the HTTP layer
+// cannot errors.Is it to a 503.
+func badNew() error {
+	return errors.New("journal went sideways") // want `naked errors\.New on a durability path`
+}
+
+// badErrorf drops the chain: no %w, so sentinel matching severs here.
+func badErrorf(rec int) error {
+	return fmt.Errorf("journal: record %d broken", rec) // want `fmt\.Errorf without %w`
+}
+
+// badErrorfConcat hides the missing %w behind a literal concatenation.
+func badErrorfConcat(rec int) error {
+	return fmt.Errorf("journal: "+"record %d broken", rec) // want `fmt\.Errorf without %w`
+}
+
+// good wraps a sentinel, keeping errors.Is dispatch alive end to end.
+func good(rec int, err error) error {
+	if err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrSnapshotCorrupt, rec, err)
+	}
+	return fmt.Errorf("%w: flush", ErrDurability)
+}
+
+// goodReturnSentinel returns the sentinel itself — nothing constructed.
+func goodReturnSentinel() error { return ErrDurability }

@@ -1,0 +1,77 @@
+// Package faultfsonly enforces the durability-injection contract: every
+// filesystem touch in internal/service must go through the injectable
+// faultfs.FS seam (Config.FS), because the PR 6 crash matrix drives its
+// failpoints through that seam — a direct os call is a write the torn-
+// write/fsync/rename fault injection can never reach, silently shrinking
+// crash-recovery coverage.
+//
+// Flagged in internal/service (non-test files):
+//
+//   - calls to filesystem functions of the os package (os.OpenFile,
+//     os.Rename, os.ReadFile, ...). os constants (os.O_CREATE) and
+//     process-level helpers (os.Getenv, os.Exit) stay allowed;
+//   - any import of the deprecated io/ioutil, whose helpers are all
+//     filesystem calls.
+//
+// A deliberate bypass — if one ever becomes necessary — must carry a
+// same-line or preceding-line annotation:
+//
+//	//powersched:direct-fs <reason>
+package faultfsonly
+
+import (
+	"go/ast"
+	"path"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the faultfsonly check.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultfsonly",
+	Doc:  "filesystem access in internal/service must go through the injectable faultfs seam",
+	Run:  run,
+}
+
+// osFSFuncs are the os package entry points that touch the filesystem.
+var osFSFuncs = map[string]bool{
+	"Chmod": true, "Chtimes": true, "Create": true, "CreateTemp": true,
+	"Link": true, "Lstat": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Open": true, "OpenFile": true, "OpenRoot": true,
+	"ReadDir": true, "ReadFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Stat": true, "Symlink": true, "Truncate": true,
+	"WriteFile": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if path.Base(pass.Pkg.Path()) != "service" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == "io/ioutil" {
+				pass.Reportf(imp.Pos(),
+					"io/ioutil in internal/service bypasses the faultfs seam: every helper is a direct filesystem call the crash matrix cannot fail")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := analysis.PkgFuncCall(pass.TypesInfo, call)
+			if !ok || pkgPath != "os" || !osFSFuncs[name] {
+				return true
+			}
+			if _, annotated := analysis.Annotation(pass.Fset, f, call.Pos(), "direct-fs"); annotated {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s in internal/service bypasses the faultfs injection seam: route it through Config.FS so the crash matrix can fail it, or annotate //powersched:direct-fs <reason>",
+				name)
+			return true
+		})
+	}
+	return nil
+}

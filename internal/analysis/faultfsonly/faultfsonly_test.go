@@ -1,0 +1,12 @@
+package faultfsonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/faultfsonly"
+)
+
+func TestFaultfsonly(t *testing.T) {
+	analysistest.Run(t, "testdata", faultfsonly.Analyzer, "service", "other")
+}

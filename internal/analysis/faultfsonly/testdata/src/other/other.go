@@ -1,0 +1,9 @@
+// Fixture: a package outside internal/service — direct os access is its
+// own business, the analyzer must stay silent.
+package other
+
+import "os"
+
+func fine(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}

@@ -1,0 +1,48 @@
+// Fixture: the service package, where every filesystem touch must go
+// through the injectable seam so crash-matrix failpoints can reach it.
+package service
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS mirrors the faultfs seam the real package injects via Config.FS.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (*os.File, error)
+	ReadFile(name string) ([]byte, error)
+}
+
+// bad writes around the seam: these bytes can never be torn, truncated,
+// or ENOSPC'd by the fault injector.
+func bad(dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os\.MkdirAll`
+		return err
+	}
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644) // want `direct os\.OpenFile`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := os.ReadFile(name); err != nil { // want `direct os\.ReadFile`
+		return err
+	}
+	return os.Rename(name, name+".bak") // want `direct os\.Rename`
+}
+
+// good routes everything through the injected seam; os constants are
+// data, not filesystem calls, and stay allowed.
+func good(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return fsys.ReadFile(name)
+}
+
+// annotated is a documented deliberate bypass.
+func annotated(name string) error {
+	//powersched:direct-fs quarantine cleanup outside the journaled state dir
+	return os.Remove(name)
+}

@@ -1,0 +1,231 @@
+package analysis
+
+// Package loading for the three ways the suite runs:
+//
+//   - standalone (cmd/powerschedlint ./... or scripts/lint.sh): packages
+//     are enumerated with `go list -json` and type-checked from source;
+//   - analysistest fixtures: a single directory type-checked from source;
+//   - `go vet -vettool` unit mode: files named by vet.cfg, dependencies
+//     resolved through compiled export data (see cmd/powerschedlint).
+//
+// Dependencies outside the set the Loader knows about fall through to a
+// go/importer — the "source" importer by default, which works with no
+// module cache because both the standard library and this module are
+// present as source.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages, caching results so shared
+// dependencies are checked once. It implements types.Importer: imports
+// of packages it knows by directory are loaded from source recursively;
+// everything else is delegated to the fallback importer.
+type Loader struct {
+	Fset     *token.FileSet
+	fallback types.Importer
+	dirs     map[string]string   // import path -> directory (module packages)
+	cache    map[string]*Package // import path -> loaded package
+	loading  map[string]bool     // cycle guard (a real cycle is a compile error anyway)
+}
+
+// NewLoader returns a Loader whose fallback importer type-checks from
+// source (GOROOT and the enclosing module).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		dirs:     map[string]string{},
+		cache:    map[string]*Package{},
+		loading:  map[string]bool{},
+	}
+}
+
+// NewLoaderWith returns a Loader using the given fallback importer over
+// the given file set (the vet-tool mode, where dependencies come from
+// compiled export data rather than source).
+func NewLoaderWith(fset *token.FileSet, fallback types.Importer) *Loader {
+	return &Loader{
+		Fset:     fset,
+		fallback: fallback,
+		dirs:     map[string]string{},
+		cache:    map[string]*Package{},
+		loading:  map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p.Types, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return l.fallback.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	p, err := l.LoadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// LoadDir parses and type-checks the non-test Go files of dir as the
+// package with the given import path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	pattern := filepath.Join(dir, "*.go")
+	names, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, n := range names {
+		if strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		abs, err := filepath.Abs(n)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, abs)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	return l.LoadFiles(dir, importPath, files)
+}
+
+// LoadFiles parses and type-checks the named files as one package.
+// Files ending in _test.go are skipped: the contracts the suite
+// enforces are production-code contracts, and several analyzers exempt
+// tests by definition.
+func (l *Loader) LoadFiles(dir, importPath string, filenames []string) (*Package, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	var files []*ast.File
+	for _, name := range filenames {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files for %s", importPath)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	p := &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.cache[importPath] = p
+	return p, nil
+}
+
+// ListedPackage is the slice of `go list -json` output the loader needs.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// List enumerates the packages matching patterns via the go command and
+// registers their directories with the loader, returning them in listing
+// order. Patterns follow `go list` syntax (e.g. "./...").
+func (l *Loader) List(workdir string, patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = workdir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []ListedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p ListedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkgs = append(pkgs, p)
+		l.dirs[p.ImportPath] = p.Dir
+	}
+	return pkgs, nil
+}
+
+// LoadPatterns lists and loads every package matching patterns.
+func (l *Loader) LoadPatterns(workdir string, patterns ...string) ([]*Package, error) {
+	listed, err := l.List(workdir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		files := make([]string, 0, len(lp.GoFiles))
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		p, err := l.LoadFiles(lp.Dir, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

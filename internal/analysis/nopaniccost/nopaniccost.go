@@ -1,0 +1,152 @@
+// Package nopaniccost enforces the cost-model contract of
+// internal/power: Cost and ScheduleCost must return +Inf for anything
+// they cannot price — never panic — because a panic in an evaluation
+// path takes down a whole serving process, while +Inf merely prunes a
+// candidate interval (the contract README documents and the
+// conformance matrix probes at runtime; this check proves it over every
+// path, probed or not).
+//
+// The analyzer builds the intra-package call graph and flags:
+//
+//   - any panic statically reachable from a Cost or ScheduleCost method
+//     (no annotation can excuse these — the contract is absolute);
+//
+//   - any other panic in the package that lacks a same-line or
+//     preceding-line annotation
+//
+//     //powersched:contract-panic <reason>
+//
+//     which is how the documented constructor-validation and
+//     Block-after-Freeze misuse panics declare themselves deliberate.
+//     An annotation without a reason is still flagged: the reason is
+//     the reviewable artifact.
+package nopaniccost
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nopaniccost check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopaniccost",
+	Doc:  "no panic reachable from Cost/ScheduleCost evaluation paths in the cost-model package",
+	Run:  run,
+}
+
+// entryPoint reports whether fn is a cost-evaluation entry: a method
+// named Cost or ScheduleCost (the CostModel and ScheduleCoster hooks).
+func entryPoint(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil {
+		return false
+	}
+	return fn.Name.Name == "Cost" || fn.Name.Name == "ScheduleCost"
+}
+
+func run(pass *analysis.Pass) error {
+	if path.Base(pass.Pkg.Path()) != "power" {
+		return nil
+	}
+
+	// Collect this package's function declarations keyed by object, so
+	// statically resolvable calls become call-graph edges.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+
+	// Edges: caller object -> statically resolved callee objects within
+	// the package. Calls through interfaces or function values resolve
+	// to nothing and contribute no edge (the callee is another
+	// implementation's problem, checked in its own package).
+	edges := map[*types.Func][]*types.Func{}
+	for obj, fn := range decls {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee = pass.TypesInfo.Uses[fun]
+			case *ast.SelectorExpr:
+				callee = pass.TypesInfo.Uses[fun.Sel]
+			}
+			if cf, ok := callee.(*types.Func); ok {
+				if _, local := decls[cf]; local {
+					edges[obj] = append(edges[obj], cf)
+				}
+			}
+			return true
+		})
+	}
+
+	// Reachability from every Cost/ScheduleCost entry point.
+	reachable := map[*types.Func]bool{}
+	var stack []*types.Func
+	for obj, fn := range decls {
+		if entryPoint(fn) {
+			reachable[obj] = true
+			stack = append(stack, obj)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range edges[cur] {
+			if !reachable[next] {
+				reachable[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+
+	// Judge every panic statement in the package.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if obj != nil && reachable[obj] {
+					pass.Reportf(call.Pos(),
+						"panic reachable from a Cost/ScheduleCost evaluation path (via %s): the cost-model contract is +Inf for unpriceable queries, never a panic",
+						fn.Name.Name)
+					return true
+				}
+				reason, annotated := analysis.Annotation(pass.Fset, f, call.Pos(), "contract-panic")
+				if !annotated || reason == "" {
+					pass.Reportf(call.Pos(),
+						"panic in the cost-model package without a //powersched:contract-panic <reason> annotation: only documented constructor/misuse panics are allowed, and they must say why")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

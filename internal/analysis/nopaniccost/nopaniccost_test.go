@@ -1,0 +1,12 @@
+package nopaniccost_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nopaniccost"
+)
+
+func TestNopaniccost(t *testing.T) {
+	analysistest.Run(t, "testdata", nopaniccost.Analyzer, "power", "elsewhere")
+}

@@ -1,0 +1,10 @@
+// Fixture: a package that is not the cost-model package — its panics
+// are out of scope and the analyzer must stay silent.
+package elsewhere
+
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("elsewhere: not positive")
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+// Fixture: the cost-model package. Panics on evaluation paths must be
+// flagged regardless of annotation; constructor/misuse panics must be
+// annotated with a reason.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ranged panics two calls deep under Cost — the bug class the contract
+// exists for (a served request with a stray processor index killing the
+// process instead of pruning the candidate).
+type Ranged struct {
+	Rate []float64
+}
+
+// Cost is an evaluation entry point.
+func (m Ranged) Cost(proc, start, end int) float64 {
+	if end < start {
+		return math.Inf(1)
+	}
+	return m.rate(proc) * float64(end-start)
+}
+
+func (m Ranged) rate(proc int) float64 {
+	return m.Rate[m.index(proc)]
+}
+
+func (m Ranged) index(proc int) int {
+	if proc < 0 || proc >= len(m.Rate) {
+		panic(fmt.Sprintf("power: proc %d out of range", proc)) // want `panic reachable from a Cost/ScheduleCost evaluation path`
+	}
+	return proc
+}
+
+// Joint panics directly inside the schedule-aware hook.
+type Joint struct{ Wake float64 }
+
+func (m Joint) Cost(proc, start, end int) float64 { return m.Wake }
+
+// ScheduleCost is the other evaluation entry point.
+func (m Joint) ScheduleCost(proc int, spans []int) float64 {
+	if len(spans) == 0 {
+		panic("power: no spans") // want `panic reachable from a Cost/ScheduleCost evaluation path`
+	}
+	return m.Wake * float64(len(spans))
+}
+
+// NewRanged's validation panic is the documented constructor-misuse
+// pattern: unreachable from Cost, annotated, with a reason.
+func NewRanged(rate []float64) Ranged {
+	if len(rate) == 0 {
+		//powersched:contract-panic constructor misuse — an empty fleet can never be priced
+		panic("power: empty rate table")
+	}
+	return Ranged{Rate: rate}
+}
+
+// NewJoint forgot the annotation: flagged even though it is a
+// constructor, because the reason is the reviewable artifact.
+func NewJoint(wake float64) Joint {
+	if wake < 0 {
+		panic("power: negative wake") // want `without a //powersched:contract-panic <reason> annotation`
+	}
+	return Joint{Wake: wake}
+}
+
+// Block carries the annotation inline on the panic line — also fine.
+func (m *Ranged) Block(t int) {
+	if t < 0 {
+		panic("power: Block before start of horizon") //powersched:contract-panic misuse — masks are set up before serving
+	}
+}
+
+// emptyReason has the marker but no reason: still flagged.
+func emptyReason(ok bool) {
+	if !ok {
+		//powersched:contract-panic
+		panic("power: misuse") // want `without a //powersched:contract-panic <reason> annotation`
+	}
+}
+
+// safe returns +Inf like the contract demands; nothing to flag.
+func safe(end, start int) float64 {
+	if end < start {
+		return math.Inf(1)
+	}
+	return float64(end - start)
+}

@@ -1,0 +1,12 @@
+package oracleclone_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/oracleclone"
+)
+
+func TestOracleclone(t *testing.T) {
+	analysistest.Run(t, "testdata", oracleclone.Analyzer, "oracle")
+}

@@ -1,0 +1,94 @@
+// Fixture: incremental-oracle types (Gain+Commit+Clone method set) with
+// shallow and deep Clone implementations. The Blocked type reconstructs
+// the PR 4 session bug: the blocked-list [][]int shallow-copied into the
+// replica, so a Block() on one session reached into every clone.
+package oracle
+
+// Blocked is the PR 4 reconstruction: a matching oracle holding
+// per-machine blocked lists that Clone aliases instead of copying.
+type Blocked struct {
+	weights [][]float64 //powersched:clone-shared immutable problem data, never mutated after construction
+	blocked [][]int
+	chosen  map[int]bool
+	total   float64
+}
+
+func (o *Blocked) Gain(j int) float64 { return o.weights[j][0] }
+func (o *Blocked) Commit(j int)       { o.chosen[j] = true }
+
+func (o *Blocked) Clone() *Blocked {
+	return &Blocked{
+		weights: o.weights,
+		blocked: o.blocked, // want `Blocked.Clone\(\) shallow-copies reference-typed field "blocked"`
+		chosen:  o.chosen,  // want `Blocked.Clone\(\) shallow-copies reference-typed field "chosen"`
+		total:   o.total,
+	}
+}
+
+// Deep does it right: reference fields rebuilt, value fields copied.
+type Deep struct {
+	blocked [][]int
+	chosen  map[int]bool
+	total   float64
+}
+
+func (o *Deep) Gain(j int) float64 { return float64(j) }
+func (o *Deep) Commit(j int)       { o.chosen[j] = true }
+
+func (o *Deep) Clone() *Deep {
+	blocked := make([][]int, len(o.blocked))
+	for i, b := range o.blocked {
+		blocked[i] = append([]int(nil), b...)
+	}
+	chosen := make(map[int]bool, len(o.chosen))
+	for k, v := range o.chosen {
+		chosen[k] = v
+	}
+	return &Deep{blocked: blocked, chosen: chosen, total: o.total}
+}
+
+// Starred clones via a whole-struct copy: the aliased map is flagged at
+// the copy, the scratch slice is excused because the body rebuilds it,
+// and the annotated problem pointer is excused by declaration.
+type Starred struct {
+	problem *[]float64 //powersched:clone-shared frozen instance data shared across replicas
+	chosen  map[int]bool
+	scratch []float64
+	total   float64
+}
+
+func (o *Starred) Gain(j int) float64 { return (*o.problem)[j] }
+func (o *Starred) Commit(j int)       { o.chosen[j] = true }
+
+func (o *Starred) Clone() *Starred {
+	c := *o // want `Starred.Clone\(\) shallow-copies reference-typed field "chosen"`
+	c.scratch = make([]float64, len(o.scratch))
+	return &c
+}
+
+// Assigned clones field by field: the aliased assignment is flagged,
+// the rebuilt one is not.
+type Assigned struct {
+	chosen  map[int]bool
+	scratch []float64
+}
+
+func (o *Assigned) Gain(j int) float64 { return float64(len(o.scratch)) }
+func (o *Assigned) Commit(j int)       { o.chosen[j] = true }
+
+func (o *Assigned) Clone() *Assigned {
+	c := new(Assigned)
+	c.chosen = o.chosen // want `Assigned.Clone\(\) shallow-copies reference-typed field "chosen"`
+	c.scratch = append([]float64(nil), o.scratch...)
+	return c
+}
+
+// NotAnOracle has Clone but no Gain/Commit: out of scope, its shallow
+// copy is some other contract's business.
+type NotAnOracle struct {
+	data []int
+}
+
+func (n *NotAnOracle) Clone() *NotAnOracle {
+	return &NotAnOracle{data: n.data}
+}

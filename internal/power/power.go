@@ -65,6 +65,7 @@ type PerProcessor struct {
 // NewPerProcessor validates slice lengths and returns the model.
 func NewPerProcessor(alpha, rate []float64) PerProcessor {
 	if len(alpha) != len(rate) {
+		//powersched:contract-panic constructor misuse — a malformed fleet can never be priced
 		panic(fmt.Sprintf("power: %d alphas vs %d rates", len(alpha), len(rate)))
 	}
 	return PerProcessor{Alpha: alpha, Rate: rate}
@@ -91,6 +92,7 @@ type TimeOfUse struct {
 // NewTimeOfUse builds the model from per-slot prices.
 func NewTimeOfUse(alpha, rate, price []float64) *TimeOfUse {
 	if len(alpha) != len(rate) {
+		//powersched:contract-panic constructor misuse — a malformed fleet can never be priced
 		panic(fmt.Sprintf("power: %d alphas vs %d rates", len(alpha), len(rate)))
 	}
 	prefix := make([]float64, len(price)+1)
@@ -161,9 +163,11 @@ func NewUnavailable(base CostModel, horizon int) *Unavailable {
 // way: silently ignoring them would hide a miswired mask.
 func (u *Unavailable) Block(proc, t int) {
 	if u.frozen.Load() {
+		//powersched:contract-panic mutation-after-Freeze misuse — masks are set up before serving
 		panic("power: Unavailable.Block after Freeze — the mask is immutable while serving")
 	}
 	if t < 0 || t >= u.horizon {
+		//powersched:contract-panic setup misuse — a slot outside the horizon means a miswired mask
 		panic(fmt.Sprintf("power: Unavailable.Block slot %d outside horizon %d", t, u.horizon))
 	}
 	if _, ok := u.blocked[proc]; !ok {

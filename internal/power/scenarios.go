@@ -32,15 +32,18 @@ type SpeedScaled struct {
 // negative interval costs, violating the package contract.
 func NewSpeedScaled(wake, speed []float64, alpha float64) SpeedScaled {
 	if len(wake) != len(speed) {
+		//powersched:contract-panic constructor misuse — a malformed fleet can never be priced
 		panic(fmt.Sprintf("power: %d wakes vs %d speeds", len(wake), len(speed)))
 	}
 	for p, s := range speed {
 		if s <= 0 {
+			//powersched:contract-panic constructor misuse — a non-positive speed cannot price any interval
 			panic(fmt.Sprintf("power: SpeedScaled speed[%d] = %g, want > 0", p, s))
 		}
 	}
 	for p, w := range wake {
 		if w < 0 {
+			//powersched:contract-panic constructor misuse — a negative wake breaks cost non-negativity
 			panic(fmt.Sprintf("power: SpeedScaled wake[%d] = %g, want >= 0", p, w))
 		}
 	}
@@ -111,6 +114,7 @@ type SleepState struct {
 // non-negative combination is sound, so only negatives are rejected.
 func NewSleepState(wake, busy, idle float64) SleepState {
 	if wake < 0 || busy < 0 || idle < 0 {
+		//powersched:contract-panic constructor misuse — negative rates break cost non-negativity
 		panic(fmt.Sprintf("power: SleepState rates (%g, %g, %g), want all >= 0", wake, busy, idle))
 	}
 	return SleepState{Wake: wake, Busy: busy, Idle: idle}
@@ -203,20 +207,24 @@ type Composite struct {
 // negative prices would break interval monotonicity).
 func NewComposite(wake, speed []float64, alpha float64, price []float64) *Composite {
 	if len(wake) != len(speed) {
+		//powersched:contract-panic constructor misuse — a malformed fleet can never be priced
 		panic(fmt.Sprintf("power: %d wakes vs %d speeds", len(wake), len(speed)))
 	}
 	for p, s := range speed {
 		if s <= 0 {
+			//powersched:contract-panic constructor misuse — a non-positive speed cannot price any interval
 			panic(fmt.Sprintf("power: Composite speed[%d] = %g, want > 0", p, s))
 		}
 	}
 	for p, w := range wake {
 		if w < 0 {
+			//powersched:contract-panic constructor misuse — a negative wake breaks cost non-negativity
 			panic(fmt.Sprintf("power: Composite wake[%d] = %g, want >= 0", p, w))
 		}
 	}
 	for t, pr := range price {
 		if pr < 0 {
+			//powersched:contract-panic constructor misuse — a negative price breaks interval monotonicity
 			panic(fmt.Sprintf("power: Composite price[%d] = %g, want >= 0", t, pr))
 		}
 	}
@@ -235,12 +243,15 @@ func (c *Composite) Horizon() int { return len(c.prefix) - 1 }
 // silently ignoring a miswired mask would hide the error.
 func (c *Composite) Block(proc, t int) {
 	if c.frozen.Load() {
+		//powersched:contract-panic mutation-after-Freeze misuse — masks are set up before serving
 		panic("power: Composite.Block after Freeze — the mask is immutable while serving")
 	}
 	if proc < 0 || proc >= len(c.wake) {
+		//powersched:contract-panic setup misuse — a processor outside the fleet means a miswired mask
 		panic(fmt.Sprintf("power: Composite.Block proc %d outside fleet of %d", proc, len(c.wake)))
 	}
 	if t < 0 || t >= c.Horizon() {
+		//powersched:contract-panic setup misuse — a slot outside the horizon means a miswired mask
 		panic(fmt.Sprintf("power: Composite.Block slot %d outside horizon %d", t, c.Horizon()))
 	}
 	if _, ok := c.blocked[proc]; !ok {

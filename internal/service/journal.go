@@ -81,7 +81,7 @@ func encodeRecord(rec journalRecord) ([]byte, error) {
 	rec.V = journalVersion
 	rec.Sum = recordSum(rec)
 	if rec.Sum == "" {
-		return nil, fmt.Errorf("journal: record does not marshal")
+		return nil, fmt.Errorf("%w: journal record does not marshal", ErrDurability)
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -93,25 +93,25 @@ func encodeRecord(rec journalRecord) ([]byte, error) {
 func decodeRecordLine(line []byte) (journalRecord, error) {
 	var rec journalRecord
 	if err := json.Unmarshal(line, &rec); err != nil {
-		return rec, fmt.Errorf("journal: undecodable record: %w", err)
+		return rec, fmt.Errorf("%w: undecodable journal record: %v", ErrSnapshotCorrupt, err)
 	}
 	if rec.V != journalVersion {
-		return rec, fmt.Errorf("journal: record version %d, want %d", rec.V, journalVersion)
+		return rec, fmt.Errorf("%w: journal record version %d, want %d", ErrSnapshotCorrupt, rec.V, journalVersion)
 	}
 	if rec.Sum == "" || recordSum(rec) != rec.Sum {
-		return rec, fmt.Errorf("journal: record checksum mismatch")
+		return rec, fmt.Errorf("%w: journal record checksum mismatch", ErrSnapshotCorrupt)
 	}
 	switch rec.T {
 	case "snapshot":
 		if rec.Snap == nil {
-			return rec, fmt.Errorf("journal: snapshot record without snapshot")
+			return rec, fmt.Errorf("%w: snapshot record without snapshot", ErrSnapshotCorrupt)
 		}
 	case "mutate":
 		if rec.Mut == nil {
-			return rec, fmt.Errorf("journal: mutate record without mutation")
+			return rec, fmt.Errorf("%w: mutate record without mutation", ErrSnapshotCorrupt)
 		}
 	default:
-		return rec, fmt.Errorf("journal: unknown record type %q", rec.T)
+		return rec, fmt.Errorf("%w: unknown journal record type %q", ErrSnapshotCorrupt, rec.T)
 	}
 	return rec, nil
 }
@@ -154,7 +154,8 @@ func ReplayJournal(data []byte) (*ReplayedJournal, error) {
 				out.Truncated = true
 				break
 			}
-			return nil, fmt.Errorf("%w: record %d: %v", ErrSnapshotCorrupt, i, err)
+			// decodeRecordLine errors already carry ErrSnapshotCorrupt.
+			return nil, fmt.Errorf("journal record %d: %w", i, err)
 		}
 		out.Records++
 		switch rec.T {

@@ -38,6 +38,10 @@ var ErrNoSession = errors.New("service: no such session")
 // ErrTooManySessions is returned by CreateSession at the MaxSessions cap.
 var ErrTooManySessions = errors.New("service: session limit reached")
 
+// ErrSessionsDisabled is returned by CreateSession and RestoreSession
+// when the deployment opted out of sessions (MaxSessions < 0).
+var ErrSessionsDisabled = errors.New("service: sessions disabled (MaxSessions < 0)")
+
 // MutationSpec is one session mutation on the wire. Op selects the
 // variant; exactly the fields that variant needs are read:
 //
@@ -137,7 +141,7 @@ func (s *Service) CreateSession(spec InstanceSpec) (id, digest string, err error
 		return "", "", err
 	}
 	if s.cfg.MaxSessions < 0 {
-		return "", "", errors.New("service: sessions disabled (MaxSessions < 0)")
+		return "", "", ErrSessionsDisabled
 	}
 	h, err := s.newHandle(spec)
 	if err != nil {

@@ -136,7 +136,7 @@ func (s *Service) RestoreSession(snap *SessionSnapshot) error {
 		return err
 	}
 	if s.cfg.MaxSessions < 0 {
-		return errors.New("service: sessions disabled (MaxSessions < 0)")
+		return ErrSessionsDisabled
 	}
 	h, err := s.restoreHandle(snap)
 	if err != nil {

@@ -72,7 +72,7 @@ func AsIncremental(f Function) (Incremental, bool) {
 // Counting's call counter.
 type countingIncremental struct {
 	inc Incremental
-	c   *Counting
+	c   *Counting //powersched:clone-shared replicas bill one shared total; the counter is atomic
 }
 
 func (w *countingIncremental) Universe() int     { return w.inc.Universe() }
@@ -102,7 +102,7 @@ func (w *countingIncremental) Clone() Incremental {
 // so a probe costs O(|items| + ground words) instead of O(|S| × ground
 // words) per Eval.
 type IncCoverage struct {
-	c       *Coverage
+	c       *Coverage   //powersched:clone-shared immutable problem data, frozen at construction
 	base    *bitset.Set // over the item universe
 	covered *bitset.Set // over the ground universe
 	value   float64
@@ -190,7 +190,7 @@ func (ic *IncCoverage) Clone() Incremental {
 // IncFacilityLocation keeps each client's best committed benefit, so a
 // probe costs O(clients × |new items|) instead of O(clients × |S|).
 type IncFacilityLocation struct {
-	f     *FacilityLocation
+	f     *FacilityLocation //powersched:clone-shared immutable benefit matrix, frozen at construction
 	base  *bitset.Set
 	best  []float64 // per-client running best over the base set
 	value float64
@@ -292,7 +292,7 @@ func (ifl *IncFacilityLocation) Reset() {
 // IncModular answers probes in O(|items|): the marginal of an additive
 // function is the weight sum of genuinely new items.
 type IncModular struct {
-	m     *Modular
+	m     *Modular //powersched:clone-shared immutable weight vector, frozen at construction
 	base  *bitset.Set
 	value float64
 	seen  []int32 // probe-local dedup stamps
@@ -360,7 +360,7 @@ func (im *IncModular) Clone() Incremental {
 
 // IncConcave tracks |S| so a probe costs O(|items|) plus one φ evaluation.
 type IncConcave struct {
-	c     *ConcaveCardinality
+	c     *ConcaveCardinality //powersched:clone-shared immutable concave curve φ, frozen at construction
 	base  *bitset.Set
 	count int
 	seen  []int32
