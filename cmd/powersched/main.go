@@ -3,6 +3,8 @@
 //
 //	powersched [solve] [flags] [file]   solve one instance (stdin or file) to stdout
 //	powersched serve [flags]            long-lived JSON-over-HTTP scheduling service
+//	powersched route [flags]            shard-router front end over N serve backends
+//	powersched loadgen [flags]          replay an arrival trace at a target QPS
 //	powersched simulate [flags]         rolling-horizon engine over a generated arrival trace
 //
 // Instance schema (shared by solve, /v1/schedule, and /v1/batch entries):
@@ -35,6 +37,21 @@
 // -compact-every mutations) and restored on restart — kill -9 included;
 // -solve-timeout bounds each solve (503 + Retry-After past it, tuned by
 // -retry-after), and GET /metrics exposes Prometheus-text counters.
+// -lazy-sessions defers journal replay to first touch per session, so a
+// backend with a large shared state dir starts serving immediately.
+//
+// Route flags: -backends (required, comma-separated serve base URLs),
+// -addr, plus the robustness knobs — -request-timeout, -max-attempts,
+// -backoff-base/-backoff-cap, -retry-rate/-retry-burst (global retry
+// budget), -probe-interval/-eject-after/-readmit-after (health
+// hysteresis), -breaker-threshold/-breaker-cooldown (per-backend
+// circuit), -retry-after (advertised on 429/503). The router exposes
+// the same /v1 surface as serve plus /admin/ring (GET topology,
+// POST resize) and its own /stats and /metrics.
+//
+// Loadgen flags: -target, -qps, -requests, -concurrency, -timeout,
+// plus the trace shape (-trace, -seed, -procs, -horizon, -jobs,
+// -window). Prints a JSON latency-percentile report.
 //
 // Simulate flags: -trace poisson|diurnal|frontloaded, -cost
 // affine|speedscaled|sleepstate|composite, -procs, -horizon, -jobs,
@@ -119,6 +136,7 @@ func serveMain(args []string) error {
 	stateDir := fs.String("state-dir", "", "durable session state directory (empty = in-memory sessions only)")
 	fsync := fs.String("fsync", "", "journal fsync policy: always | never (default always)")
 	compactEvery := fs.Int("compact-every", 0, "fold a session journal to a snapshot after this many mutations (0 = 64, negative disables)")
+	lazySessions := fs.Bool("lazy-sessions", false, "defer journal replay to first touch per session (needs -state-dir)")
 	solveTimeout := fs.Duration("solve-timeout", 60*time.Second, "per-request solve budget; past it the client gets 503 + Retry-After (0 = unbounded)")
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After advertised on 429/503 (0 = 1s)")
 	if err := fs.Parse(args); err != nil {
@@ -128,7 +146,7 @@ func serveMain(args []string) error {
 	svc, err := service.Open(service.Config{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, ProbeWorkers: *probeWorkers,
 		MaxSessions: *maxSessions,
-		StateDir:    *stateDir, Fsync: *fsync, CompactEvery: *compactEvery,
+		StateDir:    *stateDir, Fsync: *fsync, CompactEvery: *compactEvery, LazyRestore: *lazySessions,
 		SolveTimeout: *solveTimeout, RetryAfter: *retryAfter,
 	})
 	if err != nil {
@@ -319,6 +337,10 @@ func main() {
 	switch {
 	case len(args) > 0 && args[0] == "serve":
 		err = serveMain(args[1:])
+	case len(args) > 0 && args[0] == "route":
+		err = routeMain(args[1:])
+	case len(args) > 0 && args[0] == "loadgen":
+		err = loadgenMain(args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "simulate":
 		err = simulateMain(args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "solve":

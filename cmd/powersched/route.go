@@ -1,0 +1,111 @@
+package main
+
+// The route subcommand: the shard-router front end over N `powersched
+// serve` backends (internal/cluster). It consistent-hashes session ids
+// and instance digests across the -backends ring, health-probes each
+// backend with eject/readmit hysteresis, retries idempotent requests
+// under per-request deadlines with capped exponential backoff and a
+// global retry budget, breaks the circuit on failing backends, and
+// sheds 429/503 + Retry-After when the cluster degrades. Failover and
+// resize migration ride the backends' shared -state-dir journals.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func routeMain(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	backends := fs.String("backends", "", "comma-separated powersched serve base URLs forming the ring (required)")
+	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-attempt proxy and health-probe deadline")
+	maxAttempts := fs.Int("max-attempts", 3, "tries per request, first attempt included")
+	backoffBase := fs.Duration("backoff-base", 25*time.Millisecond, "first retry backoff (doubles per attempt)")
+	backoffCap := fs.Duration("backoff-cap", time.Second, "backoff ceiling")
+	retryRate := fs.Float64("retry-rate", 10, "global retry budget refill, retries/second (first attempts are free)")
+	retryBurst := fs.Float64("retry-burst", 0, "retry budget bucket cap (0 = 2×rate)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "health-probe period")
+	ejectAfter := fs.Int("eject-after", 2, "consecutive probe failures that eject a backend")
+	readmitAfter := fs.Int("readmit-after", 3, "consecutive probe successes that readmit it")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive request failures that open a backend's circuit")
+	breakerCooldown := fs.Duration("breaker-cooldown", time.Second, "open-circuit cooldown before the half-open trial")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After advertised on 429/503")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ring := strings.Split(*backends, ",")
+	cleaned := ring[:0]
+	for _, b := range ring {
+		if b = strings.TrimSpace(b); b != "" {
+			cleaned = append(cleaned, b)
+		}
+	}
+	if len(cleaned) == 0 {
+		return fmt.Errorf("route: -backends is required (comma-separated base URLs)")
+	}
+
+	router, err := cluster.New(cluster.Config{
+		Backends:         cleaned,
+		RequestTimeout:   *requestTimeout,
+		MaxAttempts:      *maxAttempts,
+		BackoffBase:      *backoffBase,
+		BackoffCap:       *backoffCap,
+		RetryRate:        *retryRate,
+		RetryBurst:       *retryBurst,
+		ProbeInterval:    *probeInterval,
+		EjectAfter:       *ejectAfter,
+		ReadmitAfter:     *readmitAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		RetryAfter:       *retryAfter,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		// Each proxied attempt is bounded by -request-timeout; the write
+		// timeout must outlast the whole retry ladder (attempts plus
+		// capped backoffs), or the router kills answers mid-failover.
+		WriteTimeout: time.Duration(*maxAttempts)*(*requestTimeout+*backoffCap) + 15*time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("powersched-route: routing %d backends on %s", len(cleaned), *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("powersched-route: draining (budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = server.Shutdown(drainCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("drain budget exceeded; abandoning in-flight requests")
+	}
+	return err
+}

@@ -1,19 +1,23 @@
-// Package errsentinel enforces the durability error contract: errors
-// constructed on internal/service's journal/snapshot paths must wrap an
-// exported sentinel (ErrDurability, ErrSnapshotCorrupt) or another
-// error via %w, so callers — the HTTP surface mapping ErrDurability to
-// 503 + Retry-After, the recovery loop mapping ErrSnapshotCorrupt to
-// quarantine-and-continue — can dispatch with errors.Is instead of
-// string matching.
+// Package errsentinel enforces the sentinel error contract on the
+// layers whose callers dispatch on error identity:
 //
-// In internal/service files whose name marks them as durability code
-// (journal*, snapshot*, durab*), non-test:
+//   - internal/service durability paths (journal*, snapshot*, durab*
+//     files): errors must wrap ErrDurability or ErrSnapshotCorrupt via
+//     %w, so the HTTP surface can map ErrDurability to 503 +
+//     Retry-After and recovery can quarantine on ErrSnapshotCorrupt;
+//   - internal/cluster routing and failover paths (route*, health*,
+//     failover* files): errors must wrap ErrBackendUnavailable or
+//     ErrRetryBudgetExhausted via %w, so the router's HTTP surface can
+//     map them to 503/429 + Retry-After and the chaos matrix can
+//     assert the degradation contract with errors.Is.
+//
+// In the scoped files, non-test:
 //
 //   - fmt.Errorf with a literal format string lacking %w is flagged: it
-//     severs the error chain, and errors.Is(err, ErrDurability) at the
-//     HTTP boundary silently stops matching;
+//     severs the error chain, and errors.Is at the HTTP boundary
+//     silently stops matching;
 //   - errors.New inside a function body is flagged: an ad-hoc error on
-//     a durability path belongs under a sentinel. Package-level
+//     a contract path belongs under a sentinel. Package-level
 //     errors.New remains the way sentinels themselves are declared.
 package errsentinel
 
@@ -30,25 +34,46 @@ import (
 // Analyzer is the errsentinel check.
 var Analyzer = &analysis.Analyzer{
 	Name: "errsentinel",
-	Doc:  "durability-path errors in internal/service must wrap the exported sentinels via %w",
+	Doc:  "contract-path errors in internal/service and internal/cluster must wrap the exported sentinels via %w",
 	Run:  run,
 }
 
-// durabilityFile reports whether a file belongs to the durability layer
-// by its committed naming convention.
-func durabilityFile(name string) bool {
+// scope names the files a package's sentinel contract covers and the
+// sentinels its diagnostics should steer authors toward.
+type scope struct {
+	filePrefixes []string
+	sentinels    string
+}
+
+// scopes maps a package's base name to its sentinel contract.
+var scopes = map[string]scope{
+	"service": {
+		filePrefixes: []string{"journal", "snapshot", "durab"},
+		sentinels:    "ErrDurability, ErrSnapshotCorrupt",
+	},
+	"cluster": {
+		filePrefixes: []string{"route", "health", "failover"},
+		sentinels:    "ErrBackendUnavailable, ErrRetryBudgetExhausted",
+	},
+}
+
+func (s scope) covers(name string) bool {
 	base := filepath.Base(name)
-	return strings.HasPrefix(base, "journal") ||
-		strings.HasPrefix(base, "snapshot") ||
-		strings.HasPrefix(base, "durab")
+	for _, p := range s.filePrefixes {
+		if strings.HasPrefix(base, p) {
+			return true
+		}
+	}
+	return false
 }
 
 func run(pass *analysis.Pass) error {
-	if path.Base(pass.Pkg.Path()) != "service" {
+	sc, ok := scopes[path.Base(pass.Pkg.Path())]
+	if !ok {
 		return nil
 	}
 	for _, f := range pass.Files {
-		if !durabilityFile(pass.Fset.Position(f.Pos()).Filename) {
+		if !sc.covers(pass.Fset.Position(f.Pos()).Filename) {
 			continue
 		}
 		// Only function bodies: package-level var blocks are where the
@@ -70,11 +95,11 @@ func run(pass *analysis.Pass) error {
 				switch {
 				case pkgPath == "errors" && name == "New":
 					pass.Reportf(call.Pos(),
-						"naked errors.New on a durability path: return or wrap an exported sentinel (ErrDurability, ErrSnapshotCorrupt) so callers can errors.Is")
+						"naked errors.New on a contract path: return or wrap an exported sentinel (%s) so callers can errors.Is", sc.sentinels)
 				case pkgPath == "fmt" && name == "Errorf":
 					if lit := formatLiteral(call); lit != "" && !strings.Contains(lit, "%w") {
 						pass.Reportf(call.Pos(),
-							"fmt.Errorf without %%w on a durability path severs the sentinel chain: wrap ErrDurability or ErrSnapshotCorrupt (or the underlying error) with %%w")
+							"fmt.Errorf without %%w on a contract path severs the sentinel chain: wrap %s (or the underlying error) with %%w", sc.sentinels)
 					}
 				}
 				return true

@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrsentinel(t *testing.T) {
-	analysistest.Run(t, "testdata", errsentinel.Analyzer, "service")
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "service", "cluster")
 }

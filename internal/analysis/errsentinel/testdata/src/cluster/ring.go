@@ -1,0 +1,10 @@
+// Fixture: ring.go is outside the route*/health*/failover* scope — its
+// validation errors are construction-time, never dispatched by
+// errors.Is at the HTTP boundary, so the contract does not apply.
+package cluster
+
+import "fmt"
+
+func unflagged(n int) error {
+	return fmt.Errorf("ring needs at least one backend, got %d", n)
+}

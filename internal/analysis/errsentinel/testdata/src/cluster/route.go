@@ -1,0 +1,35 @@
+// Fixture: a routing-layer file (route*) of the cluster package. The
+// router's HTTP surface maps ErrBackendUnavailable to 503 and
+// ErrRetryBudgetExhausted to 429 with errors.Is, so every error minted
+// on this path must keep the %w chain alive.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel declarations are the sanctioned errors.New.
+var (
+	ErrBackendUnavailable   = errors.New("cluster: no backend available")
+	ErrRetryBudgetExhausted = errors.New("cluster: retry budget exhausted")
+)
+
+// badNew mints an untyped routing error: the HTTP layer cannot
+// errors.Is it to a 503.
+func badNew() error {
+	return errors.New("backend fell over") // want `naked errors\.New on a contract path`
+}
+
+// badErrorf drops the chain: no %w, so the 429/503 mapping severs here.
+func badErrorf(attempts int) error {
+	return fmt.Errorf("routing failed after %d attempts", attempts) // want `fmt\.Errorf without %w`
+}
+
+// good wraps the sentinels, keeping errors.Is dispatch alive.
+func good(attempts int, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w: after %d attempts: %v", ErrBackendUnavailable, attempts, cause)
+	}
+	return fmt.Errorf("%w: %d attempts", ErrRetryBudgetExhausted, attempts)
+}

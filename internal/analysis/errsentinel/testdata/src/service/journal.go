@@ -18,7 +18,7 @@ var (
 // badNew mints an untyped error on the durability path: the HTTP layer
 // cannot errors.Is it to a 503.
 func badNew() error {
-	return errors.New("journal went sideways") // want `naked errors\.New on a durability path`
+	return errors.New("journal went sideways") // want `naked errors\.New on a contract path`
 }
 
 // badErrorf drops the chain: no %w, so sentinel matching severs here.

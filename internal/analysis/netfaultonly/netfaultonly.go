@@ -1,0 +1,108 @@
+// Package netfaultonly enforces the network-injection contract: every
+// network exchange in internal/cluster must go through the injectable
+// Config.Transport seam, because the chaos matrix drives its failpoints
+// through netfault.Transport — a direct http.Get or net.Dial is a
+// request the dropped-reply/partial-body/latency injection can never
+// reach, silently shrinking the failure-mode coverage the router's
+// degradation contract is tested against.
+//
+// Flagged in internal/cluster (non-test files):
+//
+//   - calls to the net/http package-level request helpers (http.Get,
+//     http.Post, http.PostForm, http.Head) — they route through the
+//     process-global default client, not the seam;
+//   - any use of http.DefaultClient or http.DefaultTransport;
+//   - calls to the net package dialers and listeners (net.Dial,
+//     net.DialTimeout, net.Listen, ...).
+//
+// A deliberate bypass — the one sanctioned case is Config.withDefaults
+// falling back to http.DefaultTransport as the seam's default value,
+// like faultfs.OS — must carry a same-line or preceding-line
+// annotation:
+//
+//	//powersched:direct-net <reason>
+package netfaultonly
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the netfaultonly check.
+var Analyzer = &analysis.Analyzer{
+	Name: "netfaultonly",
+	Doc:  "network access in internal/cluster must go through the injectable netfault transport seam",
+	Run:  run,
+}
+
+// httpHelperFuncs are net/http entry points that bypass a configured
+// client.
+var httpHelperFuncs = map[string]bool{
+	"Get": true, "Head": true, "Post": true, "PostForm": true,
+}
+
+// netDialFuncs are the net package entry points that open connections
+// or sockets directly.
+var netDialFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"DialIP": true, "DialUnix": true, "Listen": true, "ListenTCP": true,
+	"ListenUDP": true, "ListenIP": true, "ListenUnix": true,
+	"ListenPacket": true,
+}
+
+// httpGlobals are the process-global client/transport values whose use
+// sidesteps the per-router seam.
+var httpGlobals = map[string]bool{
+	"DefaultClient": true, "DefaultTransport": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if path.Base(pass.Pkg.Path()) != "cluster" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				pkgPath, name, ok := analysis.PkgFuncCall(pass.TypesInfo, node)
+				if !ok {
+					return true
+				}
+				var diag string
+				switch {
+				case pkgPath == "net/http" && httpHelperFuncs[name]:
+					diag = "http." + name + " uses the process-global client"
+				case pkgPath == "net" && netDialFuncs[name]:
+					diag = "net." + name + " opens a connection outside the seam"
+				default:
+					return true
+				}
+				if _, annotated := analysis.Annotation(pass.Fset, file, node.Pos(), "direct-net"); annotated {
+					return true
+				}
+				pass.Reportf(node.Pos(),
+					"%s, bypassing the netfault injection seam: route it through Config.Transport so the chaos matrix can fail it, or annotate //powersched:direct-net <reason>", diag)
+			case *ast.SelectorExpr:
+				ident, ok := node.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "net/http" || !httpGlobals[node.Sel.Name] {
+					return true
+				}
+				if _, annotated := analysis.Annotation(pass.Fset, file, node.Pos(), "direct-net"); annotated {
+					return true
+				}
+				pass.Reportf(node.Pos(),
+					"http.%s bypasses the netfault injection seam: use the router's Config.Transport, or annotate //powersched:direct-net <reason>", node.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package netfaultonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/netfaultonly"
+)
+
+func TestNetfaultonly(t *testing.T) {
+	analysistest.Run(t, "testdata", netfaultonly.Analyzer, "cluster")
+}

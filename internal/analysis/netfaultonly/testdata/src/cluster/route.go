@@ -1,0 +1,45 @@
+// Fixture: the cluster package must reach the network only through the
+// injectable transport seam, so the chaos matrix can fail every
+// exchange. Direct helpers, global client/transport, and raw dials are
+// flagged; the annotated seam default and seam-routed requests are not.
+package cluster
+
+import (
+	"net"
+	"net/http"
+)
+
+// Config mirrors the real router config's seam field.
+type Config struct {
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport //powersched:direct-net the injectable default, like faultfs.OS
+	}
+	return c
+}
+
+func badHelpers(url string) {
+	http.Get(url)           // want `http\.Get uses the process-global client`
+	http.Post(url, "", nil) // want `http\.Post uses the process-global client`
+}
+
+func badGlobals() *http.Client {
+	http.DefaultClient.CloseIdleConnections() // want `http\.DefaultClient bypasses the netfault injection seam`
+	return &http.Client{
+		Transport: http.DefaultTransport, // want `http\.DefaultTransport bypasses the netfault injection seam`
+	}
+}
+
+func badDial(addr string) {
+	net.Dial("tcp", addr)   // want `net\.Dial opens a connection outside the seam`
+	net.Listen("tcp", addr) // want `net\.Listen opens a connection outside the seam`
+}
+
+// good goes through the seam: a client built from Config.Transport.
+func good(cfg Config, req *http.Request) (*http.Response, error) {
+	client := &http.Client{Transport: cfg.withDefaults().Transport}
+	return client.Do(req)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/errsentinel"
 	"repro/internal/analysis/faultfsonly"
+	"repro/internal/analysis/netfaultonly"
 	"repro/internal/analysis/nopaniccost"
 	"repro/internal/analysis/oracleclone"
 )
@@ -20,6 +21,7 @@ func Analyzers() []*analysis.Analyzer {
 		detrand.Analyzer,
 		nopaniccost.Analyzer,
 		faultfsonly.Analyzer,
+		netfaultonly.Analyzer,
 		errsentinel.Analyzer,
 	}
 }

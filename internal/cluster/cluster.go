@@ -1,0 +1,290 @@
+// Package cluster is the shard-router front end over N powersched
+// serve backends: it consistent-hashes session ids and request bodies
+// across the ring (ring.go), probes backend health and ejects/readmits
+// with hysteresis (health.go), retries idempotent requests under a
+// deadline with capped exponential backoff and a global retry budget
+// (route.go), breaks the circuit on a failing backend, and sheds load
+// with 429/503 + Retry-After when the cluster degrades.
+//
+// The paper's value-oracle framing is what makes the router safe: a
+// solve is a pure function of the instance digest, so any backend
+// answers any solve byte-identically and the router may retry or fail
+// over freely. The two stateful operations get explicit protocols —
+// mutations retry only behind a journal-sequence check (a retried
+// mutate whose first attempt landed is detected by its 409, never
+// re-applied), and session ownership moves via release/takeover against
+// the shared StateDir, with the moved digest verified (failover.go).
+//
+// The degradation contract, from least to most degraded:
+//
+//	healthy    — requests proxy to the key's ring owner
+//	retrying   — transient failures burn the retry budget with
+//	             capped-exponential backoff, failing over along the
+//	             key's ring sequence
+//	shedding   — an exhausted retry budget answers 429 + Retry-After
+//	             (wrapping ErrRetryBudgetExhausted in logs)
+//	unavailable— no alive backend answers 503 + Retry-After (wrapping
+//	             ErrBackendUnavailable); the cluster never answers a
+//	             request it cannot answer correctly
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBackendUnavailable is wrapped by every routing failure caused by
+// backends being dead, ejected, or circuit-broken. It maps to 503 +
+// Retry-After on the router's HTTP surface.
+var ErrBackendUnavailable = errors.New("cluster: no backend available")
+
+// ErrRetryBudgetExhausted is wrapped when a request still has failing
+// attempts left by policy but the global retry budget is empty — the
+// cluster is degrading and piling on retries would make it worse. It
+// maps to 429 + Retry-After.
+var ErrRetryBudgetExhausted = errors.New("cluster: retry budget exhausted")
+
+// ErrMigrationCorrupt is wrapped when a resize migration's digest
+// verification fails: the taker recovered a state the donor never
+// acked. The session keeps its old owner recorded and the mismatch is
+// reported in the resize reply — corruption is surfaced, never routed
+// around silently.
+var ErrMigrationCorrupt = errors.New("cluster: migrated session failed digest verification")
+
+// Config tunes a Router. Zero values pick defaults suited to tests and
+// small deployments; production tunes the timeouts up.
+type Config struct {
+	// Backends are the powersched serve base URLs forming the ring.
+	Backends []string
+	// Transport is the network seam: every request and health probe goes
+	// through it, so tests wrap it with netfault.Transport failpoints.
+	// Defaults to http.DefaultTransport.
+	Transport http.RoundTripper
+	// RequestTimeout bounds each proxy attempt and health probe
+	// (default 5s).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds tries per request, first attempt included
+	// (default 3). Only idempotent work retries freely; mutations retry
+	// behind the journal-sequence check.
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between attempts: base, 2·base, 4·base, ... capped (defaults
+	// 25ms / 1s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// RetryRate refills the global retry budget in retries/second
+	// (default 10); RetryBurst caps the bucket (default 2·RetryRate).
+	// First attempts are free — the budget prices only retries, so a
+	// degraded cluster sheds amplification, not traffic.
+	RetryRate  float64
+	RetryBurst float64
+	// ProbeInterval is the health-probe period (default 500ms).
+	// EjectAfter consecutive probe failures eject a backend from
+	// routing; ReadmitAfter consecutive successes readmit it (defaults
+	// 2 and 3 — readmission is the slower edge, so a flapping backend
+	// stays out).
+	ProbeInterval time.Duration
+	EjectAfter    int
+	ReadmitAfter  int
+	// BreakerThreshold consecutive request failures open a backend's
+	// circuit for BreakerCooldown; one trial request half-opens it
+	// (defaults 5 and 1s). The breaker reacts on the request path,
+	// faster than the prober's eject cycle.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryAfter is advertised on 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// Logf sinks routing diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport //powersched:direct-net — the injectable default, like faultfs.OS
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Second
+	}
+	if c.RetryRate <= 0 {
+		c.RetryRate = 10
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 2 * c.RetryRate
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 2
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Router is the shard-routing front end. Create with New, serve its
+// Handler, stop with Close.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu       sync.Mutex
+	ring     *Ring
+	backends map[string]*backendState
+	sessions map[string]string // session id → owning backend
+	creates  atomic.Uint64     // router-minted session id sequence
+	epoch    int64             // stamps minted ids so restarts do not collide
+
+	budget retryBudget
+
+	// resizeMu serializes ring resizes: interleaved migrations of one
+	// session would race release against takeover.
+	resizeMu sync.Mutex
+
+	stop chan struct{}
+	done chan struct{}
+
+	proxied, retries, failovers   atomic.Uint64
+	ejections, readmissions       atomic.Uint64
+	sheds, budgetExhausted        atomic.Uint64
+	breakerOpens, migrations      atomic.Uint64
+	mutationConflictsDetected     atomic.Uint64
+	sessionsRecovered             atomic.Uint64
+}
+
+// New builds a router over cfg.Backends and starts the health prober.
+// The caller must Close it.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Backends)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		client:   &http.Client{Transport: cfg.Transport},
+		ring:     ring,
+		backends: make(map[string]*backendState, ring.N()),
+		sessions: make(map[string]string),
+		epoch:    time.Now().Unix(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	r.budget.max = cfg.RetryBurst
+	r.budget.rate = cfg.RetryRate
+	r.budget.tokens = cfg.RetryBurst
+	r.budget.last = time.Now()
+	for _, b := range ring.Backends() {
+		r.backends[b] = newBackendState(b)
+	}
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the health prober. In-flight requests finish on their own
+// deadlines.
+func (r *Router) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+}
+
+// BackendStatus is one backend's health as the router sees it.
+type BackendStatus struct {
+	Name        string `json:"name"`
+	Alive       bool   `json:"alive"`
+	BreakerOpen bool   `json:"breaker_open"`
+	Sessions    int    `json:"sessions"`
+}
+
+// Stats is a point-in-time snapshot of router counters.
+type Stats struct {
+	Backends []BackendStatus `json:"backends"`
+	Sessions int             `json:"sessions"`
+
+	Proxied           uint64 `json:"proxied"`            // requests answered through a backend
+	Retries           uint64 `json:"retries"`            // attempts beyond the first
+	Failovers         uint64 `json:"failovers"`          // answers from a non-preferred backend
+	Ejections         uint64 `json:"ejections"`          // health ejections
+	Readmissions      uint64 `json:"readmissions"`       // health readmissions
+	Sheds             uint64 `json:"sheds"`              // 503s: no backend available
+	BudgetExhausted   uint64 `json:"budget_exhausted"`   // 429s: retry budget empty
+	BreakerOpens      uint64 `json:"breaker_opens"`      // circuit-breaker trips
+	Migrations        uint64 `json:"migrations"`         // sessions moved on ring resize
+	MutationConflicts uint64 `json:"mutation_conflicts"` // retried mutates detected as landed
+	Recovered         uint64 `json:"sessions_recovered"` // sessions failed over to a new owner
+}
+
+// Stats snapshots the router's counters and backend health.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	backends := make([]BackendStatus, 0, len(r.backends))
+	perOwner := make(map[string]int, len(r.backends))
+	for _, owner := range r.sessions {
+		perOwner[owner]++
+	}
+	for _, name := range r.ring.Backends() {
+		b := r.backends[name]
+		backends = append(backends, BackendStatus{
+			Name:        name,
+			Alive:       b.isAlive(),
+			BreakerOpen: b.breakerOpen(time.Now()),
+			Sessions:    perOwner[name],
+		})
+	}
+	liveSessions := len(r.sessions)
+	r.mu.Unlock()
+	return Stats{
+		Backends: backends,
+		Sessions: liveSessions,
+
+		Proxied:           r.proxied.Load(),
+		Retries:           r.retries.Load(),
+		Failovers:         r.failovers.Load(),
+		Ejections:         r.ejections.Load(),
+		Readmissions:      r.readmissions.Load(),
+		Sheds:             r.sheds.Load(),
+		BudgetExhausted:   r.budgetExhausted.Load(),
+		BreakerOpens:      r.breakerOpens.Load(),
+		Migrations:        r.migrations.Load(),
+		MutationConflicts: r.mutationConflictsDetected.Load(),
+		Recovered:         r.sessionsRecovered.Load(),
+	}
+}
+
+// mintSessionID returns a fresh router-scoped session id. The epoch
+// stamp keeps ids from colliding across router restarts sharing one
+// cluster (the id also lands as a journal filename, so the format obeys
+// the service's id grammar).
+func (r *Router) mintSessionID() string {
+	return fmt.Sprintf("c%d-%06d", r.epoch, r.creates.Add(1))
+}

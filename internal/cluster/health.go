@@ -1,0 +1,215 @@
+package cluster
+
+// This file is the router's health machinery: the per-backend state a
+// routing decision reads (alive? breaker open?), the probe loop that
+// ejects and readmits backends with hysteresis, and the global retry
+// budget that keeps a degrading cluster from amplifying its own load.
+//
+// Two failure detectors run at different speeds on purpose. The probe
+// loop is the slow, authoritative one: it drives /healthz every
+// ProbeInterval and flips the alive bit only after EjectAfter straight
+// failures (and back only after ReadmitAfter straight successes, the
+// slower edge, so a flapping backend stays ejected). The circuit
+// breaker is the fast, request-path one: BreakerThreshold consecutive
+// request failures open it immediately, before the prober has even
+// noticed, and one trial request half-opens it after the cooldown.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// backendState is the router's view of one backend. Guarded by its own
+// mutex so the request path never contends with the router's ring lock.
+type backendState struct {
+	name string
+
+	mu            sync.Mutex
+	alive         bool
+	probeFails    int
+	probeOKs      int
+	reqFails      int
+	breakerUntil  time.Time // zero = closed
+	breakerTrial  bool      // half-open: one trial in flight
+}
+
+func newBackendState(name string) *backendState {
+	return &backendState{name: name, alive: true}
+}
+
+func (b *backendState) isAlive() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.alive
+}
+
+// breakerOpen reports whether the circuit rejects requests at now.
+func (b *backendState) breakerOpen(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.breakerRejectsLocked(now)
+}
+
+func (b *backendState) breakerRejectsLocked(now time.Time) bool {
+	if b.breakerUntil.IsZero() {
+		return false
+	}
+	if now.Before(b.breakerUntil) {
+		return true
+	}
+	// Cooled down: half-open. One trial request may pass; the rest keep
+	// being rejected until the trial reports.
+	return b.breakerTrial
+}
+
+// admit reports whether the request path may try this backend at now,
+// claiming the half-open trial slot when the breaker just cooled down.
+func (b *backendState) admit(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.alive {
+		return false
+	}
+	if b.breakerUntil.IsZero() {
+		return true
+	}
+	if now.Before(b.breakerUntil) {
+		return false
+	}
+	if b.breakerTrial {
+		return false
+	}
+	b.breakerTrial = true
+	return true
+}
+
+// reportRequest feeds a request outcome into the breaker. Returns true
+// when this report tripped the breaker open.
+func (b *backendState) reportRequest(ok bool, now time.Time, threshold int, cooldown time.Duration) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.reqFails = 0
+		b.breakerUntil = time.Time{}
+		b.breakerTrial = false
+		return false
+	}
+	b.reqFails++
+	b.breakerTrial = false
+	if b.reqFails >= threshold && b.breakerUntil.IsZero() {
+		b.breakerUntil = now.Add(cooldown)
+		return true
+	}
+	if !b.breakerUntil.IsZero() {
+		// A failed half-open trial re-arms the cooldown.
+		b.breakerUntil = now.Add(cooldown)
+	}
+	return false
+}
+
+// reportProbe feeds a probe outcome into the eject/readmit hysteresis.
+// Returns the alive transition, if any.
+func (b *backendState) reportProbe(ok bool, ejectAfter, readmitAfter int) (ejected, readmitted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.probeOKs++
+		b.probeFails = 0
+		if !b.alive && b.probeOKs >= readmitAfter {
+			b.alive = true
+			b.reqFails = 0
+			b.breakerUntil = time.Time{}
+			b.breakerTrial = false
+			return false, true
+		}
+		return false, false
+	}
+	b.probeFails++
+	b.probeOKs = 0
+	if b.alive && b.probeFails >= ejectAfter {
+		b.alive = false
+		return true, false
+	}
+	return false, false
+}
+
+// probeLoop drives /healthz against every backend until Close.
+func (r *Router) probeLoop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		states := make([]*backendState, 0, len(r.backends))
+		for _, b := range r.backends {
+			states = append(states, b)
+		}
+		r.mu.Unlock()
+		for _, b := range states {
+			ok := r.probe(b.name)
+			ejected, readmitted := b.reportProbe(ok, r.cfg.EjectAfter, r.cfg.ReadmitAfter)
+			if ejected {
+				r.ejections.Add(1)
+				r.cfg.Logf("powersched-route: backend %s ejected (%d straight probe failures)", b.name, r.cfg.EjectAfter)
+			}
+			if readmitted {
+				r.readmissions.Add(1)
+				r.cfg.Logf("powersched-route: backend %s readmitted (%d straight probe successes)", b.name, r.cfg.ReadmitAfter)
+			}
+		}
+	}
+}
+
+// probe issues one GET /healthz through the injectable transport — the
+// same seam requests use, so netfault latency and drops hit probes too.
+func (r *Router) probe(backend string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// retryBudget is a token bucket priced in retries: first attempts are
+// free, every attempt beyond the first takes a token, and an empty
+// bucket means the cluster is already struggling — shed instead of
+// amplifying (429 + Retry-After upstream).
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	rate   float64 // tokens per second
+	last   time.Time
+}
+
+func (b *retryBudget) take(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+// Package netfault is the injectable network seam under the cluster
+// routing layer, mirroring internal/faultfs for the wire: production
+// code talks to plain http.RoundTripper / net.Listener values; tests
+// swap in Transport / Listener wrappers that fail the Nth round trip
+// (optionally after the request already reached the backend, or after
+// part of the response body arrived), inject latency, or drop accepted
+// connections — the failure modes a failure-aware router must survive.
+// The chaos-matrix tests drive every failpoint through the router and
+// assert that a faulted cluster answers byte-identically to one clean
+// process or fails loudly with the documented status codes.
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned at a failpoint — the
+// "connection reset by peer" of this seam. Tests may override it via
+// Plan.Err.
+var ErrInjected = errors.New("netfault: injected network failure")
+
+// Plan selects which operation fails. Counts are 1-based and global
+// across the wrapped transport (all requests); zero means "never
+// fail". Err is the returned error, defaulting to ErrInjected.
+type Plan struct {
+	// FailRoundTrip fails the Nth RoundTrip before the request is sent:
+	// the backend never sees it. The connection-refused / dial-failure
+	// case — always safe to retry.
+	FailRoundTrip int
+	// DropReply performs the Nth RoundTrip — the backend fully processes
+	// the request — then discards the response and reports Err. The
+	// lost-ack case: a retried mutation would double-apply unless the
+	// router checks the journal sequence first.
+	DropReply int
+	// PartialBody, on the Nth RoundTrip, truncates the response body
+	// after Partial bytes and then surfaces Err from the body reader —
+	// a connection cut mid-response.
+	PartialBody int
+	Partial     int
+	// Latency delays every RoundTrip (request and health probe alike)
+	// before it is sent; combined with a router deadline shorter than
+	// it, this is the timeout failpoint.
+	Latency time.Duration
+	// LatencyN, when positive, confines Latency to the Nth RoundTrip.
+	LatencyN int
+	Err      error
+}
+
+// Transport wraps an http.RoundTripper with a failure Plan. Safe for
+// concurrent use. A zero plan forwards everything untouched.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	plan  Plan
+	trips int
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with plan.
+func NewTransport(inner http.RoundTripper, plan Plan) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, plan: plan}
+}
+
+// SetPlan replaces the plan and resets the trip counter, so one
+// Transport can be re-armed between chaos-matrix rounds.
+func (t *Transport) SetPlan(plan Plan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.plan = plan
+	t.trips = 0
+}
+
+// Trips reports how many round trips have started since the last
+// SetPlan — how wide a failpoint sweep must be.
+func (t *Transport) Trips() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trips
+}
+
+func (t *Transport) err() error {
+	if t.plan.Err != nil {
+		return t.plan.Err
+	}
+	return ErrInjected
+}
+
+// tick advances the trip counter and reports which failpoints hit.
+func (t *Transport) tick() (failEarly, dropReply, partial bool, latency time.Duration, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trips++
+	n := t.trips
+	if t.plan.Latency > 0 && (t.plan.LatencyN == 0 || t.plan.LatencyN == n) {
+		latency = t.plan.Latency
+	}
+	switch {
+	case t.plan.FailRoundTrip > 0 && n == t.plan.FailRoundTrip:
+		failEarly = true
+	case t.plan.DropReply > 0 && n == t.plan.DropReply:
+		dropReply = true
+	case t.plan.PartialBody > 0 && n == t.plan.PartialBody:
+		partial = true
+	}
+	return failEarly, dropReply, partial, latency, t.err()
+}
+
+// RoundTrip applies the plan to one HTTP exchange.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	failEarly, dropReply, partial, latency, injected := t.tick()
+	if latency > 0 {
+		timer := time.NewTimer(latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if failEarly {
+		// The request never leaves: the body (if any) is closed as the
+		// http.RoundTripper contract requires even on error.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, injected
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if dropReply {
+		// The backend has fully handled the request; the caller sees
+		// only a transport error — the lost-ack window.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining a reply we are discarding
+		resp.Body.Close()
+		return nil, injected
+	}
+	if partial {
+		resp.Body = &partialBody{inner: resp.Body, remaining: t.plan.Partial, err: injected}
+	}
+	return resp, nil
+}
+
+// partialBody yields at most remaining bytes, then fails with err — the
+// mid-response connection cut.
+type partialBody struct {
+	inner     io.ReadCloser
+	remaining int
+	err       error
+}
+
+func (p *partialBody) Read(b []byte) (int, error) {
+	if p.remaining <= 0 {
+		return 0, p.err
+	}
+	if len(b) > p.remaining {
+		b = b[:p.remaining]
+	}
+	n, err := p.inner.Read(b)
+	p.remaining -= n
+	if err == io.EOF {
+		// The true body ended before the cut: pass EOF through.
+		return n, err
+	}
+	if p.remaining <= 0 && err == nil {
+		err = p.err
+	}
+	return n, err
+}
+
+func (p *partialBody) Close() error { return p.inner.Close() }
+
+// ListenerPlan selects connection-level failures for a wrapped
+// net.Listener. Counts are 1-based over accepted connections.
+type ListenerPlan struct {
+	// DropAccept accepts the Nth connection and immediately closes it —
+	// the backend-side connection drop a client sees as a reset.
+	DropAccept int
+	// RefuseAll makes every Accept close the connection at once — a
+	// backend that is up but unreachable (the kill -9 window before the
+	// listener itself dies, or a partitioned node).
+	RefuseAll bool
+}
+
+// Listener wraps a net.Listener with a ListenerPlan. Safe for
+// concurrent use.
+type Listener struct {
+	net.Listener
+
+	mu      sync.Mutex
+	plan    ListenerPlan
+	accepts int
+}
+
+// NewListener wraps inner with plan.
+func NewListener(inner net.Listener, plan ListenerPlan) *Listener {
+	return &Listener{Listener: inner, plan: plan}
+}
+
+// SetPlan replaces the plan and resets the accept counter.
+func (l *Listener) SetPlan(plan ListenerPlan) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.plan = plan
+	l.accepts = 0
+}
+
+// Accept applies the plan to one accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return conn, err
+		}
+		l.mu.Lock()
+		l.accepts++
+		drop := l.plan.RefuseAll || (l.plan.DropAccept > 0 && l.accepts == l.plan.DropAccept)
+		l.mu.Unlock()
+		if !drop {
+			return conn, nil
+		}
+		conn.Close()
+		// A dropped connection is invisible to the server above; keep
+		// accepting so the listener stays live for later connections.
+	}
+}

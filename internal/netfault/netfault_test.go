@@ -1,0 +1,217 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newBackend returns a test server counting requests and its transport
+// wrapped with plan.
+func newBackend(t *testing.T, plan Plan) (*httptest.Server, *Transport, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "0123456789") //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	return srv, NewTransport(nil, plan), &served
+}
+
+func get(t *testing.T, tr *Transport, url string) (string, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+func TestZeroPlanForwards(t *testing.T) {
+	srv, tr, served := newBackend(t, Plan{})
+	body, err := get(t, tr, srv.URL)
+	if err != nil || body != "0123456789" {
+		t.Fatalf("clean request: body %q err %v", body, err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("served %d requests, want 1", served.Load())
+	}
+	if tr.Trips() != 1 {
+		t.Fatalf("trips %d, want 1", tr.Trips())
+	}
+}
+
+func TestFailRoundTripNeverReachesBackend(t *testing.T) {
+	srv, tr, served := newBackend(t, Plan{FailRoundTrip: 2})
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("first request should pass: %v", err)
+	}
+	if _, err := get(t, tr, srv.URL); err == nil || !strings.Contains(err.Error(), ErrInjected.Error()) {
+		t.Fatalf("second request: want injected failure, got %v", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("backend served %d, want 1 (failed trip must not arrive)", served.Load())
+	}
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("third request should pass: %v", err)
+	}
+}
+
+func TestDropReplyReachesBackend(t *testing.T) {
+	srv, tr, served := newBackend(t, Plan{DropReply: 1})
+	if _, err := get(t, tr, srv.URL); err == nil {
+		t.Fatal("dropped reply must surface as an error")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("backend served %d, want 1 (drop-reply delivers the request)", served.Load())
+	}
+}
+
+func TestPartialBodyTruncates(t *testing.T) {
+	srv, tr, _ := newBackend(t, Plan{PartialBody: 1, Partial: 4})
+	body, err := get(t, tr, srv.URL)
+	if err == nil {
+		t.Fatalf("partial body must end in an error, got full %q", body)
+	}
+	if body != "0123" {
+		t.Fatalf("got %q before the cut, want %q", body, "0123")
+	}
+}
+
+func TestPartialBodyPassesShortResponses(t *testing.T) {
+	// A response shorter than the cut point reads to clean EOF.
+	srv, tr, _ := newBackend(t, Plan{PartialBody: 1, Partial: 64})
+	body, err := get(t, tr, srv.URL)
+	if err != nil || body != "0123456789" {
+		t.Fatalf("short response through wide cut: body %q err %v", body, err)
+	}
+}
+
+func TestLatencyDelaysAndHonorsContext(t *testing.T) {
+	srv, tr, served := newBackend(t, Plan{Latency: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request took %v, want >= 50ms", d)
+	}
+	// A deadline shorter than the latency must cancel before dispatch.
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Millisecond}
+	before := served.Load()
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("sub-latency deadline should fail the request")
+	}
+	if served.Load() != before {
+		t.Fatal("timed-out request must not reach the backend")
+	}
+}
+
+func TestLatencyNConfinesDelay(t *testing.T) {
+	srv, tr, _ := newBackend(t, Plan{Latency: 40 * time.Millisecond, LatencyN: 2})
+	start := time.Now()
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 30*time.Millisecond {
+		t.Fatalf("first request delayed %v, plan targets only the second", d)
+	}
+	start = time.Now()
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("second request took %v, want >= 40ms", d)
+	}
+}
+
+func TestSetPlanResetsCounter(t *testing.T) {
+	srv, tr, _ := newBackend(t, Plan{FailRoundTrip: 1})
+	if _, err := get(t, tr, srv.URL); err == nil {
+		t.Fatal("first trip should fail")
+	}
+	tr.SetPlan(Plan{FailRoundTrip: 1})
+	if _, err := get(t, tr, srv.URL); err == nil {
+		t.Fatal("re-armed first trip should fail again")
+	}
+	tr.SetPlan(Plan{})
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("cleared plan should pass: %v", err)
+	}
+}
+
+func TestCustomErr(t *testing.T) {
+	sentinel := errors.New("boom")
+	srv, tr, _ := newBackend(t, Plan{FailRoundTrip: 1, Err: sentinel})
+	_, err := get(t, tr, srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestListenerDropAccept(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewListener(inner, ListenerPlan{DropAccept: 1})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok") //nolint:errcheck
+	})}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	// Disable keep-alives so each request opens a fresh connection and
+	// the Nth-accept accounting is exact.
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   2 * time.Second,
+	}
+	url := "http://" + inner.Addr().String()
+	if _, err := client.Get(url); err == nil {
+		t.Fatal("first connection should be dropped")
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("second connection should pass: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestListenerRefuseAllThenRecover(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewListener(inner, ListenerPlan{RefuseAll: true})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok") //nolint:errcheck
+	})}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   2 * time.Second,
+	}
+	url := "http://" + inner.Addr().String()
+	if _, err := client.Get(url); err == nil {
+		t.Fatal("refused connection should fail")
+	}
+	ln.SetPlan(ListenerPlan{})
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("recovered listener should serve: %v", err)
+	}
+	resp.Body.Close()
+}

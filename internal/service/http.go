@@ -34,37 +34,49 @@ type BatchResponse struct {
 // the decoder buffer unbounded input.
 const MaxRequestBytes = 64 << 20
 
-// SessionResponse is the reply to session create/mutate/info calls.
+// SessionResponse is the reply to session create/mutate/takeover calls.
+// Seq is the session's mutation sequence after the call; on a 409 it is
+// the current sequence the conflicting caller must reconcile against.
 type SessionResponse struct {
 	ID     string `json:"id,omitempty"`
 	Digest string `json:"digest,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
 	Error  string `json:"error,omitempty"`
 }
 
-// MutateRequest is the /v1/session/{id}/mutate body.
+// MutateRequest is the /v1/session/{id}/mutate body. ExpectSeq, when
+// present, makes the mutate conditional: it applies only if the
+// session's sequence equals it (409 + current seq otherwise) — the
+// handshake that makes mutation retries safe across lost replies.
 type MutateRequest struct {
 	Mutations []MutationSpec `json:"mutations"`
+	ExpectSeq *int64         `json:"expect_seq,omitempty"`
 }
 
 // NewHTTPHandler binds svc to the JSON-over-HTTP surface:
 //
-//	POST   /v1/schedule            one InstanceSpec in, ScheduleResponse out
-//	POST   /v1/batch               BatchRequest in, BatchResponse out
-//	POST   /v1/session             InstanceSpec in, SessionResponse{id,digest} out
-//	POST   /v1/session/{id}/mutate MutateRequest in, SessionResponse{digest} out
-//	POST   /v1/session/{id}/solve  ScheduleResponse out (digest-cached)
-//	GET    /v1/session/{id}        SessionInfo out
-//	DELETE /v1/session/{id}        drop the session
-//	GET    /healthz                liveness
-//	GET    /stats                  Stats counters
+//	POST   /v1/schedule              one InstanceSpec in, ScheduleResponse out
+//	POST   /v1/batch                 BatchRequest in, BatchResponse out
+//	POST   /v1/session               InstanceSpec in, SessionResponse{id,digest} out
+//	PUT    /v1/session/{id}          create under a caller-chosen id (router-minted)
+//	POST   /v1/session/{id}/mutate   MutateRequest in, SessionResponse{digest,seq} out
+//	POST   /v1/session/{id}/solve    ScheduleResponse out (digest-cached)
+//	POST   /v1/session/{id}/takeover re-read the session from shared StateDir
+//	POST   /v1/session/{id}/release  unload it, leaving the journal for the next owner
+//	GET    /v1/session/{id}          SessionInfo out
+//	DELETE /v1/session/{id}          drop the session
+//	GET    /healthz                  liveness
+//	GET    /stats                    Stats counters
 //
 // Infeasible instances (unschedulable, value unreachable) answer 422 with
 // the error in the body; malformed requests answer 400; unknown session
-// ids answer 404; a draining service, a storage failure, or a timed-out
-// solve answers 503; the session cap answers 429. Every 429/503 carries
-// a Retry-After header (Config.RetryAfter) so well-behaved clients back
-// off instead of hammering a draining or degraded server. GET /metrics
-// exposes the Stats counters in Prometheus text format.
+// ids answer 404; a conditional mutate whose expect_seq does not match
+// answers 409 with the current seq; a draining service, a storage
+// failure, or a timed-out solve answers 503; the session cap answers
+// 429. Every 429/503 carries a Retry-After header (Config.RetryAfter)
+// so well-behaved clients back off instead of hammering a draining or
+// degraded server. GET /metrics exposes the Stats counters in
+// Prometheus text format.
 func NewHTTPHandler(svc *Service) http.Handler {
 	retryAfter := strconv.Itoa(int(math.Ceil(svc.cfg.RetryAfter.Seconds())))
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
@@ -129,6 +141,20 @@ func NewHTTPHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest})
 	})
+	mux.HandleFunc("PUT /v1/session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var spec InstanceSpec
+		if err := decodeBody(w, r, &spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, SessionResponse{Error: err.Error()})
+			return
+		}
+		id := r.PathValue("id")
+		digest, err := svc.CreateSessionWithID(id, spec)
+		if err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{ID: id, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest})
+	})
 	mux.HandleFunc("POST /v1/session/{id}/mutate", func(w http.ResponseWriter, r *http.Request) {
 		var body MutateRequest
 		if err := decodeBody(w, r, &body); err != nil {
@@ -136,12 +162,33 @@ func NewHTTPHandler(svc *Service) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
-		digest, err := svc.MutateSession(id, body.Mutations)
+		expect := int64(-1)
+		if body.ExpectSeq != nil {
+			expect = *body.ExpectSeq
+		}
+		digest, seq, err := svc.MutateSessionAt(id, expect, body.Mutations)
 		if err != nil {
-			writeJSON(w, statusFor(err), SessionResponse{ID: id, Digest: digest, Error: err.Error()})
+			writeJSON(w, statusFor(err), SessionResponse{ID: id, Digest: digest, Seq: seq, Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest})
+		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest, Seq: seq})
+	})
+	mux.HandleFunc("POST /v1/session/{id}/takeover", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		digest, seq, err := svc.TakeoverSession(id)
+		if err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{ID: id, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionResponse{ID: id, Digest: digest, Seq: seq})
+	})
+	mux.HandleFunc("POST /v1/session/{id}/release", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := svc.ReleaseSession(id); err != nil {
+			writeJSON(w, statusFor(err), SessionResponse{ID: id, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionResponse{ID: id})
 	})
 	mux.HandleFunc("POST /v1/session/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
 		res := svc.SolveSession(r.Context(), r.PathValue("id"))
@@ -237,6 +284,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNoSession):
 		return http.StatusNotFound
+	case errors.Is(err, ErrSeqConflict):
+		return http.StatusConflict
 	case errors.Is(err, ErrTooManySessions):
 		return http.StatusTooManyRequests
 	default:

@@ -346,7 +346,6 @@ func (s *Service) recoverSessions() error {
 	if err != nil {
 		return fmt.Errorf("service: state dir: %w", err)
 	}
-	var maxSeq uint64
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, journalExt) {
@@ -372,17 +371,8 @@ func (s *Service) recoverSessions() error {
 		s.sessions[id] = h
 		s.sessMu.Unlock()
 		s.sessionsRestored.Add(1)
-		var seq uint64
-		if _, err := fmt.Sscanf(id, "s%d", &seq); err == nil && seq > maxSeq {
-			maxSeq = seq
-		}
-	}
-	// Future ids must not collide with restored ones.
-	for {
-		cur := s.sessSeq.Load()
-		if cur >= maxSeq || s.sessSeq.CompareAndSwap(cur, maxSeq) {
-			break
-		}
+		// Future ids must not collide with restored ones.
+		s.bumpSessSeq(id)
 	}
 	return nil
 }
@@ -415,6 +405,7 @@ func (s *Service) recoverOne(id, path string) (*sessionHandle, error) {
 			return nil, fmt.Errorf("%w: replaying mutation %d (%s): %v", ErrSnapshotCorrupt, i, mut.Op, err)
 		}
 		h.digest = InstanceDigest(h.spec)
+		h.seq++ // each replayed mutation was acked once, at this sequence
 		if rj.Digests[i] != "" && rj.Digests[i] != h.digest {
 			return nil, fmt.Errorf("%w: mutation %d replayed to digest %s, journal acked %s",
 				ErrSnapshotCorrupt, i, h.digest, rj.Digests[i])

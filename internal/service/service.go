@@ -110,6 +110,12 @@ type Config struct {
 	// this many accepted mutations (default 64; negative disables
 	// periodic compaction).
 	CompactEvery int
+	// LazyRestore, with StateDir set, skips the bulk journal replay at
+	// Open: sessions load from disk on first touch instead (open-by-id).
+	// Cluster backends sharing one StateDir run lazy so each process
+	// materializes only the sessions the router actually routes to it,
+	// rather than every journal every backend ever wrote.
+	LazyRestore bool
 	// FS is the filesystem under StateDir (default the real one,
 	// faultfs.OS). Tests inject faultfs.Fault failpoints through it.
 	FS faultfs.FS
@@ -214,6 +220,7 @@ type Service struct {
 	sessMu   sync.Mutex
 	sessions map[string]*sessionHandle
 	sessSeq  atomic.Uint64
+	openMu   sync.Mutex // serializes on-demand journal opens (takeover.go)
 
 	submitted, completed, errs, canceled atomic.Uint64
 	cacheHits, cacheMisses, modelReuses  atomic.Uint64
@@ -266,9 +273,16 @@ func Open(cfg Config) (*Service, error) {
 		lru:      list.New(),
 		sessions: map[string]*sessionHandle{},
 	}
-	if s.durable() && cfg.MaxSessions >= 0 {
+	if s.durable() && cfg.MaxSessions >= 0 && !cfg.LazyRestore {
 		if err := s.recoverSessions(); err != nil {
 			return nil, err
+		}
+	}
+	if s.durable() && cfg.LazyRestore {
+		// Lazy mode still needs the sessions dir: open-by-id and
+		// create-with-id assume it exists.
+		if err := s.cfg.FS.MkdirAll(s.sessionsDir(), 0o755); err != nil {
+			return nil, fmt.Errorf("service: state dir: %w", err)
 		}
 	}
 	s.workers.Add(cfg.Workers)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/sched"
@@ -42,6 +43,14 @@ var ErrTooManySessions = errors.New("service: session limit reached")
 // when the deployment opted out of sessions (MaxSessions < 0).
 var ErrSessionsDisabled = errors.New("service: sessions disabled (MaxSessions < 0)")
 
+// ErrSeqConflict is returned by a conditional mutate whose expected
+// sequence number does not match the session's. It maps to 409 over
+// HTTP and is the signal the cluster router's mutation-retry check
+// reads: after a timed-out mutate, the router retries conditionally,
+// and a conflict carrying seq == expected+len(mutations) proves the
+// first attempt landed — the retry must not re-apply.
+var ErrSeqConflict = errors.New("service: session sequence conflict")
+
 // MutationSpec is one session mutation on the wire. Op selects the
 // variant; exactly the fields that variant needs are read:
 //
@@ -63,11 +72,15 @@ type MutationSpec struct {
 // durable service the handle also owns the session's write-ahead
 // journal (journal.go), guarded by the same mutex.
 type sessionHandle struct {
-	mu      sync.Mutex
-	sess    *sched.Session
-	spec    InstanceSpec
-	digest  string
-	opts    sched.Options
+	mu     sync.Mutex
+	sess   *sched.Session
+	spec   InstanceSpec
+	digest string
+	opts   sched.Options
+	// seq counts accepted mutations over the session's lifetime; it is
+	// persisted in snapshots so it stays monotone across restarts and
+	// cross-process takeover (the mutation-retry check depends on that).
+	seq     uint64
 	journal *sessionJournal
 }
 
@@ -117,15 +130,7 @@ func (s *Service) registerSession(id string, h *sessionHandle) error {
 		return fmt.Errorf("service: session %q already exists", id)
 	}
 	s.sessions[id] = h
-	var seq uint64
-	if _, err := fmt.Sscanf(id, "s%d", &seq); err == nil {
-		for {
-			cur := s.sessSeq.Load()
-			if cur >= seq || s.sessSeq.CompareAndSwap(cur, seq) {
-				break
-			}
-		}
-	}
+	s.bumpSessSeq(id)
 	return nil
 }
 
@@ -165,6 +170,69 @@ func (s *Service) CreateSession(spec InstanceSpec) (id, digest string, err error
 	return id, h.digest, nil
 }
 
+// CreateSessionWithID is CreateSession under a caller-chosen id — the
+// cluster router uses it so ids minted at the routing tier never
+// collide with backend-assigned "s%06d" ones. The id must be non-empty,
+// at most 128 bytes, start with a letter or digit, and contain only
+// letters, digits, '.', '_', and '-' (it names a journal file). On a
+// durable service an id whose journal already exists on disk is
+// refused even when the session is not in memory, so a lazily-restoring
+// backend cannot truncate acked state it has not loaded yet.
+func (s *Service) CreateSessionWithID(id string, spec InstanceSpec) (digest string, err error) {
+	if err := s.sessionsOpen(); err != nil {
+		return "", err
+	}
+	if s.cfg.MaxSessions < 0 {
+		return "", ErrSessionsDisabled
+	}
+	if err := validSessionID(id); err != nil {
+		return "", err
+	}
+	if s.durable() {
+		if f, err := s.cfg.FS.OpenFile(s.journalPath(id), os.O_RDONLY, 0); err == nil {
+			f.Close()
+			return "", fmt.Errorf("service: session %q already exists on disk", id)
+		}
+	}
+	h, err := s.newHandle(spec)
+	if err != nil {
+		return "", err
+	}
+	if s.durable() {
+		j, jerr := s.createJournal(h.snapshotLocked(id))
+		if jerr != nil {
+			s.journalErrors.Add(1)
+			return "", fmt.Errorf("%w: %v", ErrDurability, jerr)
+		}
+		h.journal = j
+	}
+	if err := s.registerSession(id, h); err != nil {
+		if h.journal != nil {
+			h.journal.discard()
+		}
+		return "", err
+	}
+	return h.digest, nil
+}
+
+// validSessionID enforces the filesystem-safe id shape CreateSessionWithID
+// documents.
+func validSessionID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("service: session id must be 1..128 bytes, got %d", len(id))
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case i > 0 && (c == '.' || c == '_' || c == '-'):
+		default:
+			return fmt.Errorf("service: session id %q: byte %d not in [A-Za-z0-9._-] (leading [A-Za-z0-9])", id, i)
+		}
+	}
+	return nil
+}
+
 // sessionsOpen reports whether the service still accepts session work —
 // a draining service refuses mutations and solves too, matching the
 // stateless path's 503 contract.
@@ -188,14 +256,21 @@ func cloneCostSpec(c CostSpec) CostSpec {
 	return c
 }
 
+// session resolves an id to its live handle. On a durable service a
+// miss falls through to the shared StateDir (takeover.go): in a cluster
+// the journal a dead backend left behind IS the session, and the
+// rehashed owner serves it by replaying snapshot + tail on first touch.
 func (s *Service) session(id string) (*sessionHandle, error) {
 	s.sessMu.Lock()
 	h, ok := s.sessions[id]
 	s.sessMu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	if ok {
+		return h, nil
 	}
-	return h, nil
+	if s.durable() && s.cfg.MaxSessions >= 0 {
+		return s.openByID(id)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
 }
 
 // MutateSession applies the mutations in order and returns the digest of
@@ -208,25 +283,42 @@ func (s *Service) session(id string) (*sessionHandle, error) {
 // ErrDurability now and ErrNoSession after — rather than risking a
 // restart that silently serves a stale prefix the client saw mutate.
 func (s *Service) MutateSession(id string, muts []MutationSpec) (digest string, err error) {
+	digest, _, err = s.MutateSessionAt(id, -1, muts)
+	return digest, err
+}
+
+// MutateSessionAt is MutateSession with sequence visibility: the
+// returned seq counts every mutation the session has ever accepted.
+// With expect >= 0 the call is conditional — it applies only when the
+// session's current sequence equals expect, answering ErrSeqConflict
+// (and the current digest and seq) otherwise. A router retrying a
+// timed-out mutate sends the same expect again: if the first attempt
+// landed, the retry conflicts at seq expect+len(muts) instead of
+// double-applying.
+func (s *Service) MutateSessionAt(id string, expect int64, muts []MutationSpec) (digest string, seq uint64, err error) {
 	if err := s.sessionsOpen(); err != nil {
-		return "", err
+		return "", 0, err
 	}
 	h, err := s.session(id)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if expect >= 0 && uint64(expect) != h.seq {
+		return h.digest, h.seq, fmt.Errorf("%w: session at seq %d, caller expected %d", ErrSeqConflict, h.seq, expect)
+	}
 	for i, m := range muts {
 		if err := h.apply(m); err != nil {
 			h.digest = InstanceDigest(h.spec)
-			return h.digest, fmt.Errorf("service: mutation %d (%s): %w", i, m.Op, err)
+			return h.digest, h.seq, fmt.Errorf("service: mutation %d (%s): %w", i, m.Op, err)
 		}
 		h.digest = InstanceDigest(h.spec)
+		h.seq++
 		if h.journal != nil {
 			if jerr := h.journal.appendMutation(m, h.digest); jerr != nil {
 				s.dropPoisonedLocked(id, h)
-				return "", fmt.Errorf("%w: mutation %d: %v (session dropped)", ErrDurability, i, jerr)
+				return "", h.seq, fmt.Errorf("%w: mutation %d: %v (session dropped)", ErrDurability, i, jerr)
 			}
 		}
 	}
@@ -235,14 +327,14 @@ func (s *Service) MutateSession(id string, muts []MutationSpec) (digest string, 
 		if cerr != nil {
 			if fatal {
 				s.dropPoisonedLocked(id, h)
-				return "", fmt.Errorf("%w: compaction: %v (session dropped)", ErrDurability, cerr)
+				return "", h.seq, fmt.Errorf("%w: compaction: %v (session dropped)", ErrDurability, cerr)
 			}
 			// The old journal is intact and appendable; compaction retries
 			// after the next CompactEvery mutations.
 			s.logf("powersched: session %s: compaction failed (%v); keeping journal", id, cerr)
 		}
 	}
-	return h.digest, nil
+	return h.digest, h.seq, nil
 }
 
 // dropPoisonedLocked removes a session whose journal can no longer
@@ -374,6 +466,7 @@ func (s *Service) solveSessionLocked(h *sessionHandle) Result {
 type SessionInfo struct {
 	ID      string `json:"id"`
 	Digest  string `json:"digest"`
+	Seq     uint64 `json:"seq"`
 	Jobs    int    `json:"jobs"`
 	Horizon int    `json:"horizon"`
 	Solves  int    `json:"solves"`
@@ -393,6 +486,7 @@ func (s *Service) SessionInfo(id string) (SessionInfo, error) {
 	return SessionInfo{
 		ID:      id,
 		Digest:  h.digest,
+		Seq:     h.seq,
 		Jobs:    h.sess.Jobs(),
 		Horizon: h.sess.Horizon(),
 		Solves:  solves,
@@ -402,12 +496,20 @@ func (s *Service) SessionInfo(id string) (SessionInfo, error) {
 }
 
 // DropSession discards a session and its journal. Cached results
-// survive: they are keyed by content digest, not by session.
+// survive: they are keyed by content digest, not by session. On a
+// durable service a session living only on disk (not yet lazily
+// loaded) is dropped by removing its journal, so a DELETE is final
+// whether or not the session was ever touched by this process.
 func (s *Service) DropSession(id string) error {
 	s.sessMu.Lock()
 	h, ok := s.sessions[id]
 	if !ok {
 		s.sessMu.Unlock()
+		if s.durable() && validSessionID(id) == nil {
+			if err := s.cfg.FS.Remove(s.journalPath(id)); err == nil {
+				return nil
+			}
+		}
 		return fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
 	delete(s.sessions, id)

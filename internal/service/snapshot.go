@@ -48,6 +48,12 @@ type SessionSnapshot struct {
 	Hints  []HintSpec   `json:"hints,omitempty"`
 	Churn  int          `json:"churn,omitempty"`
 	Solved bool         `json:"solved,omitempty"`
+	// Seq is the count of mutations accepted over the session's whole
+	// lifetime, monotone across snapshot/restore and process handoff. A
+	// mutate replayed on top of the snapshot advances it by one, so the
+	// restored session reports the same sequence the original acked —
+	// the number the cluster router's mutation-retry check compares.
+	Seq uint64 `json:"seq,omitempty"`
 	// Digest must equal InstanceDigest(Spec); restore verifies it so a
 	// corrupted snapshot is detected instead of served.
 	Digest string `json:"digest"`
@@ -72,6 +78,7 @@ func (h *sessionHandle) snapshotLocked(id string) *SessionSnapshot {
 		ID:     id,
 		Spec:   cloneInstanceSpec(h.spec),
 		Digest: h.digest,
+		Seq:    h.seq,
 	}
 	ws := h.sess.ExportWarmState()
 	snap.Churn = ws.Churn
@@ -112,6 +119,7 @@ func (s *Service) restoreHandle(snap *SessionSnapshot) (*sessionHandle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: rebuilding instance: %v", ErrSnapshotCorrupt, err)
 	}
+	h.seq = snap.Seq
 	ws := sched.WarmState{Churn: snap.Churn, Solved: snap.Solved}
 	for _, hs := range snap.Hints {
 		ws.Hints = append(ws.Hints, sched.WarmHint{

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// Tests for the cluster handoff surface: mutation sequence numbers,
+// conditional mutates, caller-chosen ids, lazy restore with open-by-id,
+// and explicit release/takeover — the service half of journal-driven
+// failover.
+
+func TestSeqTracksAcceptedMutations(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close(context.Background())
+	id, _, err := svc.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.SessionInfo(id)
+	if err != nil || info.Seq != 0 {
+		t.Fatalf("fresh session seq = %d (err %v), want 0", info.Seq, err)
+	}
+	muts := []MutationSpec{
+		{Op: "add_job", Job: ptr(extraJob())},
+		{Op: "block", Slot: &SlotSpec{Proc: 0, Time: 11}},
+		{Op: "advance_horizon", Horizon: 14},
+	}
+	_, seq, err := svc.MutateSessionAt(id, -1, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("seq after 3 mutations = %d, want 3", seq)
+	}
+	// A rejected mutation advances seq only through the accepted prefix.
+	_, seq, err = svc.MutateSessionAt(id, -1, []MutationSpec{
+		{Op: "add_job", Job: ptr(extraJob())},
+		{Op: "bogus"},
+	})
+	if err == nil {
+		t.Fatal("bogus op must be rejected")
+	}
+	if seq != 4 {
+		t.Fatalf("seq after accepted prefix = %d, want 4", seq)
+	}
+}
+
+func TestConditionalMutateDetectsLandedFirstAttempt(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close(context.Background())
+	id, _, err := svc.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []MutationSpec{{Op: "add_job", Job: ptr(extraJob())}}
+	digest1, seq, err := svc.MutateSessionAt(id, 0, muts)
+	if err != nil || seq != 1 {
+		t.Fatalf("conditional mutate at 0: seq %d err %v", seq, err)
+	}
+	// The router's retry after a lost reply: same expect, same mutations.
+	// It must conflict — and the reported seq expect+len(muts) proves the
+	// first attempt landed, so the router treats the mutate as applied.
+	digest2, seq2, err := svc.MutateSessionAt(id, 0, muts)
+	if !errors.Is(err, ErrSeqConflict) {
+		t.Fatalf("replayed conditional mutate: want ErrSeqConflict, got %v", err)
+	}
+	if seq2 != 1 || digest2 != digest1 {
+		t.Fatalf("conflict reports seq %d digest %s, want 1 and the acked digest %s", seq2, digest2, digest1)
+	}
+	info, err := svc.SessionInfo(id)
+	if err != nil || info.Seq != 1 {
+		t.Fatalf("session advanced under a conflicting retry: seq %d err %v", info.Seq, err)
+	}
+	// A conditional mutate at the correct next seq applies.
+	if _, seq, err = svc.MutateSessionAt(id, 1, muts); err != nil || seq != 2 {
+		t.Fatalf("conditional mutate at 1: seq %d err %v", seq, err)
+	}
+}
+
+func TestSeqSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := svc1.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc1.MutateSessionAt(id, -1, []MutationSpec{
+		{Op: "add_job", Job: ptr(extraJob())},
+		{Op: "advance_horizon", Horizon: 14},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close: the journal alone carries the state.
+	svc2, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(context.Background())
+	info, err := svc2.SessionInfo(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 2 {
+		t.Fatalf("restored seq = %d, want 2 (seq is lifetime-monotone)", info.Seq)
+	}
+	// The conditional-mutate handshake must keep working across the
+	// restart boundary: a stale expect conflicts, the fresh one applies.
+	if _, _, err := svc2.MutateSessionAt(id, 0, nil); !errors.Is(err, ErrSeqConflict) {
+		t.Fatalf("stale expect after restart: want ErrSeqConflict, got %v", err)
+	}
+	if _, seq, err := svc2.MutateSessionAt(id, 2, []MutationSpec{{Op: "advance_horizon", Horizon: 15}}); err != nil || seq != 3 {
+		t.Fatalf("fresh expect after restart: seq %d err %v", seq, err)
+	}
+}
+
+func TestCreateSessionWithID(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	if _, err := svc.CreateSessionWithID("c000001", sessionSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateSessionWithID("c000001", sessionSpec()); err == nil {
+		t.Fatal("duplicate id must be refused")
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "a b", "-lead", string(make([]byte, 200))} {
+		if _, err := svc.CreateSessionWithID(bad, sessionSpec()); err == nil {
+			t.Fatalf("id %q must be refused", bad)
+		}
+	}
+	// Backend-minted ids must not collide with the router-style id.
+	id, _, err := svc.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "c000001" {
+		t.Fatal("CreateSession reused a caller-chosen id")
+	}
+}
+
+func TestCreateWithIDRefusesUnloadedOnDiskSession(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc1.CreateSessionWithID("c000007", sessionSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableConfig(dir)
+	cfg.LazyRestore = true
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(context.Background())
+	// Not in memory — but its journal is acked state on disk, and a
+	// create must not truncate it.
+	if _, err := svc2.CreateSessionWithID("c000007", sessionSpec()); err == nil {
+		t.Fatal("create over an unloaded on-disk session must be refused")
+	}
+}
+
+func TestLazyRestoreOpensOnFirstTouch(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := svc1.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc1.MutateSession(id, []MutationSpec{{Op: "add_job", Job: ptr(extraJob())}}); err != nil {
+		t.Fatal(err)
+	}
+	want := solveBytes(t, svc1, id)
+	if err := svc1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableConfig(dir)
+	cfg.LazyRestore = true
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(context.Background())
+	if st := svc2.Stats(); st.Sessions != 0 || st.SessionsRestored != 0 {
+		t.Fatalf("lazy open restored eagerly: %d live, %d restored", st.Sessions, st.SessionsRestored)
+	}
+	if got := solveBytes(t, svc2, id); !bytes.Equal(got, want) {
+		t.Fatalf("lazily restored solve differs:\n%s\nwant:\n%s", got, want)
+	}
+	if st := svc2.Stats(); st.Sessions != 1 || st.SessionsRestored != 1 {
+		t.Fatalf("first touch should restore exactly one session: %d live, %d restored", st.Sessions, st.SessionsRestored)
+	}
+	if _, err := svc2.SessionInfo("s999999"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("unknown id on a lazy service: want ErrNoSession, got %v", err)
+	}
+}
+
+func TestReleaseThenTakeoverMigratesSession(t *testing.T) {
+	dir := t.TempDir()
+	cfgA := durableConfig(dir)
+	a, err := Open(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close(context.Background())
+	cfgB := durableConfig(dir)
+	cfgB.LazyRestore = true
+	b, err := Open(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close(context.Background())
+
+	id, _, err := a.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, wantSeq, err := a.MutateSessionAt(id, -1, []MutationSpec{
+		{Op: "add_job", Job: ptr(extraJob())},
+		{Op: "advance_horizon", Horizon: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solveBytes(t, a, id)
+
+	// Migration: donor releases (journal stays on disk), taker re-reads.
+	if err := a.ReleaseSession(id); err != nil {
+		t.Fatal(err)
+	}
+	gotDigest, gotSeq, err := b.TakeoverSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != wantDigest || gotSeq != wantSeq {
+		t.Fatalf("takeover recovered digest %s seq %d, donor acked %s seq %d",
+			gotDigest, gotSeq, wantDigest, wantSeq)
+	}
+	if got := solveBytes(t, b, id); !bytes.Equal(got, want) {
+		t.Fatalf("migrated solve differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReleaseKeepsJournalForReopen(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	id, _, err := svc.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solveBytes(t, svc, id)
+	if err := svc.ReleaseSession(id); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Sessions != 0 {
+		t.Fatalf("release left %d live sessions", st.Sessions)
+	}
+	// The next touch falls through to the journal the release kept.
+	if got := solveBytes(t, svc, id); !bytes.Equal(got, want) {
+		t.Fatalf("reopened solve differs:\n%s\nwant:\n%s", got, want)
+	}
+	if err := svc.ReleaseSession("s424242"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("release of unknown id: want ErrNoSession, got %v", err)
+	}
+}
+
+func TestDropSessionRemovesUnloadedJournal(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := svc1.CreateSession(sessionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableConfig(dir)
+	cfg.LazyRestore = true
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(context.Background())
+	// The session is only on disk; DELETE must still be final.
+	if err := svc2.DropSession(id); err != nil {
+		t.Fatalf("drop of unloaded session: %v", err)
+	}
+	if _, err := svc2.SessionInfo(id); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("dropped session resurrected: %v", err)
+	}
+}
+
+func TestTakeoverRequiresDurability(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close(context.Background())
+	if _, _, err := svc.TakeoverSession("s000001"); err == nil {
+		t.Fatal("takeover on a non-durable service must fail")
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/budget"
+	"repro/internal/cluster"
 	"repro/internal/matroid"
 	"repro/internal/online"
 	"repro/internal/power"
@@ -243,6 +244,46 @@ func BuildServiceRequest(spec InstanceSpec) (ServiceRequest, error) {
 // the sequential reference path the service is differential-tested
 // against.
 func SolveRequest(req ServiceRequest) (*Schedule, error) { return service.Solve(req) }
+
+// ---- Cluster routing (shard-router front end) ----
+
+// Re-exported cluster types; see the cluster package for full semantics.
+type (
+	// ClusterRouter is the shard-router front end over N serve backends:
+	// consistent-hash routing, health probing with eject/readmit
+	// hysteresis, deadline/retry/backoff with a global retry budget,
+	// per-backend circuit breaking, load shedding, and journal-driven
+	// session failover over a shared StateDir. Serve its Handler; what
+	// `powersched route` listens with.
+	ClusterRouter = cluster.Router
+	// ClusterConfig tunes the router's backends, timeouts, retry budget,
+	// health hysteresis, and circuit breaker.
+	ClusterConfig = cluster.Config
+	// ClusterStats snapshots the router's counters and backend health.
+	ClusterStats = cluster.Stats
+	// HashRing is the consistent-hash ring the router shards with; its
+	// Rebalance plans resize migrations under the ⌈K/N⌉ movement bound.
+	HashRing = cluster.Ring
+)
+
+// ErrBackendUnavailable is wrapped by routing failures caused by dead,
+// ejected, or circuit-broken backends (503 + Retry-After on the wire).
+var ErrBackendUnavailable = cluster.ErrBackendUnavailable
+
+// ErrRetryBudgetExhausted is wrapped when the cluster-wide retry budget
+// is empty (429 + Retry-After on the wire).
+var ErrRetryBudgetExhausted = cluster.ErrRetryBudgetExhausted
+
+// ErrMigrationCorrupt is wrapped when a resize migration's digest
+// verification fails; the mismatch is surfaced, never routed around.
+var ErrMigrationCorrupt = cluster.ErrMigrationCorrupt
+
+// NewClusterRouter builds a router over cfg.Backends and starts its
+// health prober. The caller must Close it.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
+
+// NewHashRing builds a consistent-hash ring over the named backends.
+func NewHashRing(backends []string) (*HashRing, error) { return cluster.NewRing(backends) }
 
 // ---- Energy-cost models (thesis §1) ----
 

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Latency benchmark for the cluster tier: start 3 backends + router,
+# replay a workload.ArrivalTrace through `powersched loadgen` at a
+# target QPS, and write the latency-percentile report as JSON.
+# BENCH_pr8_latency.json in the repo root was committed from
+# `scripts/loadgen.sh 100 300 BENCH_pr8_latency.json` on the CI
+# container. Usage: scripts/loadgen.sh [qps] [requests] [out] [baseport]
+set -eu
+qps="${1:-100}"
+requests="${2:-300}"
+out="${3:-/dev/stdout}"
+baseport="${4:-8950}"
+p1=$((baseport + 1)); p2=$((baseport + 2)); p3=$((baseport + 3))
+rport=$((baseport + 4))
+router="http://127.0.0.1:$rport"
+work="$(mktemp -d)"
+bin="$work/powersched"
+pids=""
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; wait; rm -rf "$work"' EXIT
+
+go build -o "$bin" ./cmd/powersched
+
+wait_healthy() {
+    for i in $(seq 1 50); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "no /healthz from $1" >&2
+    exit 1
+}
+
+for port in $p1 $p2 $p3; do
+    "$bin" serve -addr "127.0.0.1:$port" -workers 1 &
+    pids="$pids $!"
+done
+"$bin" route -addr "127.0.0.1:$rport" \
+    -backends "http://127.0.0.1:$p1,http://127.0.0.1:$p2,http://127.0.0.1:$p3" &
+pids="$pids $!"
+for url in "http://127.0.0.1:$p1" "http://127.0.0.1:$p2" "http://127.0.0.1:$p3" "$router"; do
+    wait_healthy "$url"
+done
+
+"$bin" loadgen -target "$router" -qps "$qps" -requests "$requests" > "$out"
+[ "$out" = /dev/stdout ] || cat "$out"
+echo "loadgen OK ($requests requests at ${qps}qps through $router)" >&2

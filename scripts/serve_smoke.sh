@@ -86,6 +86,19 @@ pid=""
 pid=$!
 wait_healthy
 
+# The restarted process must re-export its counters on /metrics before
+# any traffic arrives: the restored session is visible as a gauge, the
+# restore itself as a counter, and nothing was quarantined.
+metrics="$(curl -fsS "$base/metrics")"
+for want in '^powersched_sessions 1$' \
+            '^powersched_sessions_restored_total 1$' \
+            '^powersched_journals_dropped_corrupt_total 0$' \
+            '^powersched_journal_records_total [0-9]' \
+            '^powersched_submitted_total 0$'; do
+    echo "$metrics" | grep -q "$want" \
+        || { echo "post-restart /metrics missing $want" >&2; echo "$metrics" >&2; exit 1; }
+done
+
 post_digest="$(curl -fsS "$base/v1/session/$sid" | jq -r .digest)"
 [ "$post_digest" = "$pre_digest" ] \
     || { echo "restored digest $post_digest != pre-crash $pre_digest" >&2; exit 1; }
