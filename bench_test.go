@@ -84,7 +84,13 @@ func BenchmarkA4EpsilonSweep(b *testing.B)        { benchExperiment(b, "A4") }
 
 // Worker sweeps for the greedy-bound experiments (the parallel-scaling
 // table): serial is the plain benchmark above; W2/W4/W8 shard candidate
-// probes across that many incremental-oracle replicas.
+// probes across that many incremental-oracle replicas, synced per round
+// by delta replay. The CI multicore perf job runs this sweep on a
+// multi-core runner (the dev container is single-CPU, where the sweep
+// only measures coordination overhead).
+func BenchmarkE2ScheduleAllW2(b *testing.B)         { benchExperimentW(b, "E2", 2) }
+func BenchmarkE2ScheduleAllW4(b *testing.B)         { benchExperimentW(b, "E2", 4) }
+func BenchmarkE2ScheduleAllW8(b *testing.B)         { benchExperimentW(b, "E2", 8) }
 func BenchmarkE3PrizeCollectingW2(b *testing.B)     { benchExperimentW(b, "E3", 2) }
 func BenchmarkE3PrizeCollectingW4(b *testing.B)     { benchExperimentW(b, "E3", 4) }
 func BenchmarkE3PrizeCollectingW8(b *testing.B)     { benchExperimentW(b, "E3", 8) }

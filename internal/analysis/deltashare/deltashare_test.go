@@ -1,0 +1,12 @@
+package deltashare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deltashare"
+)
+
+func TestDeltashare(t *testing.T) {
+	analysistest.Run(t, "testdata", deltashare.Analyzer, "deltaoracle")
+}

@@ -6,6 +6,7 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/deltashare"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/errsentinel"
 	"repro/internal/analysis/faultfsonly"
@@ -18,6 +19,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		oracleclone.Analyzer,
+		deltashare.Analyzer,
 		detrand.Analyzer,
 		nopaniccost.Analyzer,
 		faultfsonly.Analyzer,

@@ -63,6 +63,65 @@ func (g *Graph) AddEdge(x, y int) {
 	g.edges++
 }
 
+// Edge is one (x, y) edge for bulk insertion via AddEdges.
+type Edge struct {
+	X, Y int
+}
+
+// AddEdges inserts every edge in one pass. Unlike an AddEdge loop — two
+// slice growths per edge — the adjacency lists are rebuilt over two
+// exactly-sized arenas (one per side), a constant number of allocations
+// total. Existing adjacency is preserved. The spans are capacity-clipped,
+// so a later AddEdge on any vertex reallocates its list instead of
+// clobbering a neighbor's span.
+func (g *Graph) AddEdges(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	for _, e := range edges {
+		if e.X < 0 || e.X >= g.nx || e.Y < 0 || e.Y >= g.ny {
+			panic(fmt.Sprintf("bipartite: edge (%d,%d) outside (%d,%d)", e.X, e.Y, g.nx, g.ny))
+		}
+	}
+	g.adjX = bulkRebuild(g.adjX, edges, func(e Edge) (int, int32) { return e.X, int32(e.Y) })
+	g.adjY = bulkRebuild(g.adjY, edges, func(e Edge) (int, int32) { return e.Y, int32(e.X) })
+	g.edges += len(edges)
+}
+
+// bulkRebuild rebuilds one side's adjacency lists over a single arena:
+// prefix-sum offsets from existing degrees plus new edges, copy the old
+// lists in, append the new neighbors, then materialize the spans (only
+// after the arena is fully built — earlier subslices of a growing buffer
+// would dangle).
+func bulkRebuild(adj [][]int32, edges []Edge, pick func(Edge) (int, int32)) [][]int32 {
+	n := len(adj)
+	off := make([]int, n+1)
+	for v := range adj {
+		off[v+1] = len(adj[v])
+	}
+	for _, e := range edges {
+		v, _ := pick(e)
+		off[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	arena := make([]int32, off[n])
+	cur := make([]int, n)
+	for v := range adj {
+		cur[v] = off[v] + copy(arena[off[v]:], adj[v])
+	}
+	for _, e := range edges {
+		v, nb := pick(e)
+		arena[cur[v]] = nb
+		cur[v]++
+	}
+	for v := range adj {
+		adj[v] = arena[off[v]:off[v+1]:off[v+1]]
+	}
+	return adj
+}
+
 // AddX appends a new isolated X vertex and returns its index. Growing a
 // graph is only safe between algorithm runs: live Matcher/WeightedMatcher
 // engines size their internal arrays at construction and must be rebuilt

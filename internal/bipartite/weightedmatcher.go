@@ -35,6 +35,11 @@ type WeightedMatcher struct {
 	logging bool
 	undo    []rematch
 	added   []int // probe scratch: temporarily enabled vertices
+
+	// journal records committed assignments while EnableSetJournaled is
+	// live, for forward replay on replicas (see Matcher.EnableSetJournaled).
+	journaling bool
+	journal    []MatchAssign
 }
 
 // NewWeightedMatcher returns a WeightedMatcher over g with no X vertices
@@ -96,6 +101,32 @@ func (m *WeightedMatcher) EnableSet(xs []int) float64 {
 	gain := m.augmentUnsaturated()
 	m.value += gain
 	return gain
+}
+
+// EnableSetJournaled enables every vertex in xs like EnableSet and records
+// each matching assignment for forward replay via ApplyJournal. The
+// returned slice is matcher-owned and valid until the next
+// EnableSetJournaled; probes (GainOfSet) do not touch it.
+func (m *WeightedMatcher) EnableSetJournaled(xs []int) (gain float64, journal []MatchAssign) {
+	m.journaling = true
+	m.journal = m.journal[:0]
+	gain = m.EnableSet(xs)
+	m.journaling = false
+	return gain, m.journal
+}
+
+// ApplyJournal replays a journal produced by a same-lineage matcher's
+// EnableSetJournaled(xs), leaving this matcher bit-identical to the
+// journaling matcher without re-running any augmenting search.
+func (m *WeightedMatcher) ApplyJournal(xs []int, journal []MatchAssign, gain float64) {
+	for _, x := range xs {
+		m.enabled.Add(x)
+	}
+	for _, a := range journal {
+		m.matchX[a.X] = a.Y
+		m.matchY[a.Y] = a.X
+	}
+	m.value += gain
 }
 
 // GainOfSet returns the value gain that enabling xs would produce, without
@@ -172,6 +203,9 @@ func (m *WeightedMatcher) try(y int32) bool {
 		if m.matchX[x] == -1 || m.try(m.matchX[x]) {
 			if m.logging {
 				m.undo = append(m.undo, rematch{x: x, y: y, prevX: m.matchX[x], prevY: m.matchY[y]})
+			}
+			if m.journaling {
+				m.journal = append(m.journal, MatchAssign{X: x, Y: y})
 			}
 			m.matchX[x] = y
 			m.matchY[y] = x

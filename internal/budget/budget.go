@@ -21,11 +21,17 @@
 //
 // Both greedies scale across CPUs without giving up the incremental-oracle
 // fast path: Options.Workers shards the candidate scan over goroutines
-// that each own a cloned oracle replica (submodular.Incremental.Clone).
-// Every replica replays the same Commit after each pick, so replicas stay
-// bit-identical and a probe answers the same on any of them — pick
-// sequences are therefore invariant in the worker count, which the
-// differential tests in parallel_test.go assert oracle by oracle.
+// that each own an oracle replica. Replicas stay bit-identical to the
+// primary after every pick, so a probe answers the same on any of them —
+// pick sequences are therefore invariant in the worker count, which the
+// differential tests in parallel_test.go assert oracle by oracle. How a
+// replica keeps up depends on the oracle: when it implements
+// submodular.DeltaOracle the primary commits each pick once (CommitDelta)
+// and ships the resulting per-round delta to every replica (ApplyDelta) —
+// for copy-on-write replicas (submodular.ReplicaProvider) even that
+// degenerates to an epoch check on shared state — otherwise each replica
+// is a deep Clone replaying the pick's Commit itself (the PR 3 scheme,
+// still available via Options.NoDeltaReplay as the ablation baseline).
 package budget
 
 import (
@@ -39,11 +45,30 @@ import (
 	"repro/internal/submodular"
 )
 
-// Subset is one allowable subset with its cost (Definition 1).
+// Subset is one allowable subset with its cost (Definition 1). The subset
+// itself may be given as a bitset (Items), as an element list (Elems), or
+// both; at least one must be set. Elems is the representation the
+// incremental probe loop consumes directly — callers that already hold
+// element lists (sched's candidate items) pass them as Elems and skip the
+// bitset round-trip entirely. When both are set they must denote the same
+// subset; Elems must not contain out-of-universe elements and its order
+// must be deterministic for the run to be reproducible.
 type Subset struct {
 	Items *bitset.Set
+	Elems []int
 	Cost  float64
 	Label string // optional, for diagnostics
+}
+
+// unionInto adds the subset's items to dst.
+func (s *Subset) unionInto(dst *bitset.Set) {
+	if s.Items != nil {
+		dst.UnionWith(s.Items)
+		return
+	}
+	for _, e := range s.Elems {
+		dst.Add(e)
+	}
 }
 
 // Problem is an instance of submodular maximization with budget
@@ -74,6 +99,13 @@ type Options struct {
 	// provides one (submodular.AsIncremental), recomputing every probe
 	// from scratch — the ablation A1/A3 baseline.
 	PlainEval bool
+	// NoDeltaReplay disables per-round delta replay and copy-on-write
+	// probe replicas even when the oracle provides them
+	// (submodular.DeltaOracle / ReplicaProvider), falling back to deep
+	// clones that replay every pick's Commit — the PR 3 replication
+	// scheme, kept as the conformance/ablation baseline. Pick sequences
+	// are identical either way.
+	NoDeltaReplay bool
 }
 
 // workerCount resolves the effective worker count.
@@ -158,9 +190,28 @@ type workspace struct {
 	x       float64 // utility cap (Problem.Threshold)
 
 	// Incremental fast path: replicas[0] is the primary oracle; the rest
-	// are clones that replay every commit. nil on the plain-Eval path.
+	// keep up either by applying the primary's per-round deltas (delta
+	// mode: copy-on-write views or deep clones, see newWorkspace) or by
+	// replaying every commit themselves. nil on the plain-Eval path.
 	replicas []submodular.Incremental
 	itemsOf  [][]int
+
+	// Delta mode (workers > 1, oracle implements DeltaOracle, and
+	// NoDeltaReplay unset): the per-worker delta surfaces, and the pick's
+	// delta awaiting application on workers 1..W-1. wdelta[0] belongs to
+	// the primary, which commits in markPicked on the coordinating
+	// goroutine — before the worker goroutines launch, so the commit
+	// happens-before every ApplyDelta.
+	wdelta       []submodular.DeltaOracle
+	pendingDelta submodular.Delta
+
+	// inline pins the workspace to sequential shard execution. It is set
+	// when the worker slots alias the primary oracle (single-CPU delta
+	// mode, see newWorkspace): aliased slots must never probe
+	// concurrently — matcher probes mutate and roll back shared state —
+	// and GOMAXPROCS can change mid-run, so the aliasing decision is
+	// remembered here rather than re-derived per phase.
+	inline bool
 
 	// Plain-Eval path: the current union plus one probe buffer per
 	// worker. cur is maintained on both paths (it is Result.Union).
@@ -209,12 +260,45 @@ func newWorkspace(f submodular.Function, p Problem, opts Options) *workspace {
 		if inc, ok := submodular.AsIncremental(f); ok {
 			ws.replicas = make([]submodular.Incremental, workers)
 			ws.replicas[0] = inc
+			primaryDelta, hasDelta := submodular.AsDeltaOracle(inc)
+			useDelta := hasDelta && workers > 1 && !opts.NoDeltaReplay
+			if useDelta {
+				ws.wdelta = make([]submodular.DeltaOracle, workers)
+				ws.wdelta[0] = primaryDelta
+				// On a single schedulable CPU the shards run inline
+				// (runWorkers), so the worker slots alias the primary
+				// oracle outright instead of cloning it: probes are pure,
+				// and syncReplica's ApplyDelta of the just-committed delta
+				// is a current-epoch no-op under the epoch contract. This
+				// is what keeps Workers > 1 allocation-flat on single-core
+				// hosts. Clone-and-replay mode (NoDeltaReplay) cannot
+				// alias — its sync re-Commits the pick per replica, which
+				// would double-apply on a shared oracle.
+				ws.inline = runtime.GOMAXPROCS(0) == 1
+			}
 			for w := 1; w < workers; w++ {
-				ws.replicas[w] = inc.Clone()
+				switch {
+				case useDelta && ws.inline:
+					ws.replicas[w] = inc
+					ws.wdelta[w] = primaryDelta
+				case useDelta:
+					ws.replicas[w] = submodular.NewProbeReplica(inc)
+					d, ok := submodular.AsDeltaOracle(ws.replicas[w])
+					if !ok {
+						panic("budget: probe replica lost the delta surface")
+					}
+					ws.wdelta[w] = d
+				default:
+					ws.replicas[w] = inc.Clone()
+				}
 			}
 			ws.itemsOf = make([][]int, len(p.Subsets))
 			for i := range p.Subsets {
-				ws.itemsOf[i] = p.Subsets[i].Items.Elements()
+				if p.Subsets[i].Elems != nil {
+					ws.itemsOf[i] = p.Subsets[i].Elems
+				} else {
+					ws.itemsOf[i] = p.Subsets[i].Items.Elements()
+				}
 			}
 		}
 	}
@@ -227,13 +311,46 @@ func newWorkspace(f submodular.Function, p Problem, opts Options) *workspace {
 	return ws
 }
 
-// markPicked records the chosen subset for deferred replay on the oracle
-// replicas. The caller updates cur itself (both paths need the union).
-// Probes stop counting as initial-state gains from here on.
+// markPicked commits the chosen subset. The caller updates cur itself
+// (both paths need the union). Probes stop counting as initial-state
+// gains from here on.
+//
+// In delta mode the primary commits here, on the coordinating goroutine
+// between probe phases, and the resulting delta is parked for workers
+// 1..W-1 to apply at the start of the next parallel phase. Otherwise the
+// pick's items are parked for deferred Commit replay: the parallel phases
+// replay them per worker, serial paths flush them explicitly.
 func (ws *workspace) markPicked(i int) {
 	ws.recordZero = false
-	if ws.replicas != nil {
-		ws.pending = ws.itemsOf[i]
+	if ws.replicas == nil {
+		return
+	}
+	if ws.wdelta != nil {
+		ws.pendingDelta, _ = ws.wdelta[0].CommitDelta(ws.itemsOf[i])
+		return
+	}
+	ws.pending = ws.itemsOf[i]
+}
+
+// syncReplica brings worker w's replica up to date with the primary
+// inside a parallel phase: apply the parked delta (an epoch-check no-op
+// for copy-on-write replicas) or replay the parked commit. The
+// coordinating goroutine clears the parked state after the phase.
+func (ws *workspace) syncReplica(w int, pending []int, pendingDelta submodular.Delta) {
+	if ws.replicas == nil {
+		return
+	}
+	if pendingDelta != nil {
+		if w == 0 {
+			return // the primary committed in markPicked
+		}
+		if err := ws.wdelta[w].ApplyDelta(pendingDelta); err != nil {
+			panic("budget: replica rejected same-lineage delta: " + err.Error())
+		}
+		return
+	}
+	if len(pending) > 0 {
+		ws.replicas[w].Commit(pending)
 	}
 }
 
@@ -274,7 +391,7 @@ func (ws *workspace) probe(w, i int, base, curU float64, subsets []Subset) (gain
 	if ws.replicas != nil {
 		v = math.Min(ws.x, base+ws.replicas[w].Gain(ws.itemsOf[i]))
 	} else {
-		v = math.Min(ws.x, evalUnion(ws.f, ws.scratch[w], ws.cur, subsets[i].Items))
+		v = math.Min(ws.x, evalUnion(ws.f, ws.scratch[w], ws.cur, &subsets[i]))
 	}
 	gain = v - curU
 	if ws.recordZero {
@@ -300,12 +417,25 @@ func (ws *workspace) base(w int) float64 {
 	return 0
 }
 
-// runWorkers invokes fn(w) for w = 0..workers-1 concurrently, running
-// shard 0 on the calling goroutine, and waits for all of them.
-func runWorkers(workers int, fn func(w int)) {
+// runWorkers invokes fn(w) for w = 0..ws.workers-1 concurrently, running
+// shard 0 on the calling goroutine, and waits for all of them. Inline
+// workspaces (aliased worker slots — their probes MUST NOT overlap) and
+// runs that find only one schedulable CPU (goroutines could never
+// overlap anyway) run the shards sequentially in worker order instead —
+// the partitioning, replica assignment, and results are identical either
+// way (that is the worker-count determinism contract), and skipping the
+// per-round spawns is what keeps Workers > 1 near-free on single-core
+// hosts.
+func (ws *workspace) runWorkers(fn func(w int)) {
+	if ws.inline || runtime.GOMAXPROCS(0) == 1 {
+		for w := 0; w < ws.workers; w++ {
+			fn(w)
+		}
+		return
+	}
 	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for w := 1; w < workers; w++ {
+	wg.Add(ws.workers - 1)
+	for w := 1; w < ws.workers; w++ {
 		go func(w int) {
 			defer wg.Done()
 			fn(w)
@@ -336,12 +466,10 @@ func (ws *workspace) scanBest(subsets []Subset, picked []bool, curU float64) (in
 		}
 		return local.idx, local.gain, local.ratio
 	}
-	pending := ws.pending
+	pending, pendingDelta := ws.pending, ws.pendingDelta
 	chunk := (n + ws.workers - 1) / ws.workers
-	runWorkers(ws.workers, func(w int) {
-		if ws.replicas != nil && len(pending) > 0 {
-			ws.replicas[w].Commit(pending)
-		}
+	ws.runWorkers(func(w int) {
+		ws.syncReplica(w, pending, pendingDelta)
 		local := scanCand{idx: -1, ratio: math.Inf(-1)}
 		base := ws.base(w)
 		lo, hi := w*chunk, (w+1)*chunk
@@ -358,7 +486,7 @@ func (ws *workspace) scanBest(subsets []Subset, picked []bool, curU float64) (in
 		}
 		ws.best[w] = local
 	})
-	ws.pending = nil
+	ws.pending, ws.pendingDelta = nil, nil
 	best := scanCand{idx: -1, ratio: math.Inf(-1)}
 	for _, c := range ws.best {
 		if c.idx != -1 && c.ratio > best.ratio {
@@ -404,7 +532,7 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 		}
 		picked[best] = true
 		ws.markPicked(best)
-		cur.UnionWith(p.Subsets[best].Items)
+		p.Subsets[best].unionInto(cur)
 		curU += bestGain
 		res.Chosen = append(res.Chosen, best)
 		res.Cost += p.Subsets[best].Cost
@@ -417,11 +545,11 @@ func Greedy(p Problem, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// evalUnion evaluates F(cur ∪ items) in the caller-provided scratch set,
-// so the plain-Eval probe loop allocates nothing per candidate.
-func evalUnion(f submodular.Function, scratch, cur, items *bitset.Set) float64 {
+// evalUnion evaluates F(cur ∪ s) in the caller-provided scratch set, so
+// the plain-Eval probe loop allocates nothing per candidate.
+func evalUnion(f submodular.Function, scratch, cur *bitset.Set, s *Subset) float64 {
 	scratch.CopyFrom(cur)
-	scratch.UnionWith(items)
+	s.unionInto(scratch)
 	return f.Eval(scratch)
 }
 
@@ -434,8 +562,18 @@ func validate(p Problem, opts Options) error {
 	}
 	n := p.F.Universe()
 	for i, s := range p.Subsets {
-		if s.Items.Universe() != n {
+		if s.Items == nil && s.Elems == nil {
+			return fmt.Errorf("budget: subset %d has neither Items nor Elems", i)
+		}
+		if s.Items != nil && s.Items.Universe() != n {
 			return fmt.Errorf("budget: subset %d universe %d, want %d", i, s.Items.Universe(), n)
+		}
+		if s.Items == nil {
+			for _, e := range s.Elems {
+				if e < 0 || e >= n {
+					return fmt.Errorf("budget: subset %d element %d outside universe %d", i, e, n)
+				}
+			}
 		}
 		if s.Cost < 0 {
 			return fmt.Errorf("budget: subset %d has negative cost %g", i, s.Cost)
@@ -537,7 +675,7 @@ func (ws *workspace) initHeap(subsets []Subset, curU float64) lazyHeap {
 	ratios := make([]float64, n)
 	oks := make([]bool, n)
 	chunk := (n + ws.workers - 1) / ws.workers
-	runWorkers(ws.workers, func(w int) {
+	ws.runWorkers(func(w int) {
 		base := ws.base(w)
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
@@ -577,17 +715,15 @@ func (ws *workspace) revalidate(h *lazyHeap, batch []lazyEntry, subsets []Subset
 		ws.batchRatio = make([]float64, len(batch))
 		ws.batchOK = make([]bool, len(batch))
 	}
-	pending := ws.pending
-	runWorkers(ws.workers, func(w int) {
-		if ws.replicas != nil && len(pending) > 0 {
-			ws.replicas[w].Commit(pending)
-		}
+	pending, pendingDelta := ws.pending, ws.pendingDelta
+	ws.runWorkers(func(w int) {
+		ws.syncReplica(w, pending, pendingDelta)
 		base := ws.base(w)
 		for bi := w; bi < len(batch); bi += ws.workers {
 			ws.batchGain[bi], ws.batchRatio[bi], ws.batchOK[bi] = ws.probe(w, batch[bi].idx, base, curU, subsets)
 		}
 	})
-	ws.pending = nil
+	ws.pending, ws.pendingDelta = nil, nil
 	for bi, e := range batch {
 		if ws.batchOK[bi] {
 			h.push(lazyEntry{idx: e.idx, ratio: ws.batchRatio[bi], gain: ws.batchGain[bi], round: round})

@@ -3,6 +3,7 @@ package budget
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/submodular"
 )
@@ -118,7 +119,7 @@ func NewStepwise(p Problem, opts Options, hints []Hint) (*Stepwise, error) {
 		gains := make([]float64, n)
 		ratios := make([]float64, n)
 		oks := make([]bool, n)
-		runWorkers(ws.workers, func(w int) {
+		ws.runWorkers(func(w int) {
 			base := ws.base(w)
 			for u := w; u < n; u += ws.workers {
 				gains[u], ratios[u], oks[u] = ws.probe(w, unhinted[u], base, s.curU, p.Subsets)
@@ -168,10 +169,19 @@ func (s *Stepwise) Step() (Step, bool, error) {
 	}
 	var pick lazyEntry
 	found := false
-	// Batch size ramps from Workers to 8×Workers within one cascade, as
-	// in LazyGreedy: serial runs keep the classical pop-one/re-probe loop
-	// with identical probe counts.
-	batchCap := s.ws.workers
+	// Batch size ramps from the available parallelism to 8× within one
+	// cascade, as in LazyGreedy: serial runs keep the classical
+	// pop-one/re-probe loop with identical probe counts. Parallelism is
+	// capped at GOMAXPROCS, not just Workers: batches wider than the CPU
+	// budget can't overlap, so on a single-core host a Workers=4 run
+	// re-probes exactly what the serial run would — speculative probes
+	// only pay for themselves when they actually run concurrently. Picks
+	// are identical regardless (batching never changes the heap order).
+	par := s.ws.workers
+	if g := runtime.GOMAXPROCS(0); g < par {
+		par = g
+	}
+	batchCap := par
 	for len(s.h) > 0 {
 		if s.h[0].round == s.round {
 			pick = s.h.pop()
@@ -183,7 +193,7 @@ func (s *Stepwise) Step() (Step, bool, error) {
 			s.batch = append(s.batch, s.h.pop())
 		}
 		s.ws.revalidate(&s.h, s.batch, s.p.Subsets, s.curU, s.round)
-		if s.ws.workers > 1 && batchCap < 8*s.ws.workers {
+		if par > 1 && batchCap < 8*par {
 			batchCap *= 2
 		}
 	}
@@ -193,7 +203,7 @@ func (s *Stepwise) Step() (Step, bool, error) {
 		return Step{}, false, s.err
 	}
 	s.ws.markPicked(pick.idx)
-	s.ws.cur.UnionWith(s.p.Subsets[pick.idx].Items)
+	s.p.Subsets[pick.idx].unionInto(s.ws.cur)
 	s.curU += pick.gain
 	s.round++
 	s.res.Chosen = append(s.res.Chosen, pick.idx)

@@ -155,11 +155,12 @@ func CheckConcurrent(m power.CostModel, procs, horizon int) error {
 
 // CheckSolve exercises the solver contract on one instance: the
 // from-scratch plain-oracle serial greedy is the baseline, and every
-// other path — incremental oracles, the lazy greedy, and Workers ∈
-// {2,4,8} over both — must produce a byte-identical schedule that
-// Schedule.Validate accepts. If the baseline fails (e.g. the model's
-// blocked slots make the instance unschedulable), every path must fail
-// the same way.
+// other path — incremental oracles, the lazy greedy, Workers ∈ {2,4,8}
+// over both, and (for parallel incremental runs) per-round delta replay
+// versus clone-and-replay replicas — must produce a byte-identical
+// schedule that Schedule.Validate accepts. If the baseline fails (e.g.
+// the model's blocked slots make the instance unschedulable), every path
+// must fail the same way.
 func CheckSolve(ins *sched.Instance, opts sched.Options) error {
 	baseOpts := opts
 	baseOpts.PlainOracle = true
@@ -174,32 +175,40 @@ func CheckSolve(ins *sched.Instance, opts sched.Options) error {
 	for _, lazy := range []bool{false, true} {
 		for _, plain := range []bool{false, true} {
 			for _, workers := range []int{1, 2, 4, 8} {
-				o := opts
-				o.Lazy = lazy
-				o.PlainOracle = plain
-				o.Workers = workers
-				got, err := sched.ScheduleAll(ins, o)
-				label := fmt.Sprintf("lazy=%t plain=%t workers=%d", lazy, plain, workers)
-				if baseErr != nil {
-					if err == nil {
-						return fmt.Errorf("conformance: %s solved an instance the baseline rejects (%v)", label, baseErr)
+				for _, noDelta := range []bool{false, true} {
+					if noDelta && (plain || workers == 1) {
+						// Delta replay only engages on parallel incremental
+						// runs; elsewhere the knob selects identical code.
+						continue
 					}
-					if !errors.Is(err, sched.ErrUnschedulable) ||
-						!errors.Is(baseErr, sched.ErrUnschedulable) {
-						if err.Error() != baseErr.Error() {
-							return fmt.Errorf("conformance: %s error %q, baseline %q", label, err, baseErr)
+					o := opts
+					o.Lazy = lazy
+					o.PlainOracle = plain
+					o.Workers = workers
+					o.NoDeltaReplay = noDelta
+					got, err := sched.ScheduleAll(ins, o)
+					label := fmt.Sprintf("lazy=%t plain=%t workers=%d nodelta=%t", lazy, plain, workers, noDelta)
+					if baseErr != nil {
+						if err == nil {
+							return fmt.Errorf("conformance: %s solved an instance the baseline rejects (%v)", label, baseErr)
 						}
+						if !errors.Is(err, sched.ErrUnschedulable) ||
+							!errors.Is(baseErr, sched.ErrUnschedulable) {
+							if err.Error() != baseErr.Error() {
+								return fmt.Errorf("conformance: %s error %q, baseline %q", label, err, baseErr)
+							}
+						}
+						continue
 					}
-					continue
-				}
-				if err != nil {
-					return fmt.Errorf("conformance: %s: %w", label, err)
-				}
-				if err := got.SameAs(base); err != nil {
-					return fmt.Errorf("conformance: %s diverges from baseline: %w", label, err)
-				}
-				if err := got.Validate(ins); err != nil {
-					return fmt.Errorf("conformance: %s schedule infeasible: %w", label, err)
+					if err != nil {
+						return fmt.Errorf("conformance: %s: %w", label, err)
+					}
+					if err := got.SameAs(base); err != nil {
+						return fmt.Errorf("conformance: %s diverges from baseline: %w", label, err)
+					}
+					if err := got.Validate(ins); err != nil {
+						return fmt.Errorf("conformance: %s schedule infeasible: %w", label, err)
+					}
 				}
 			}
 		}

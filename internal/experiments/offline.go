@@ -81,10 +81,10 @@ func E2(cfg Config) *stats.Table {
 		}
 		parTrials(trials, cfg.Seed+int64(n), func(trial int, rng *rand.Rand) {
 			ins, b := e2Instance(rng, n)
-			if s, err := sched.ScheduleAll(ins, sched.Options{}); err == nil {
+			if s, err := sched.ScheduleAll(ins, sched.Options{Workers: cfg.Workers}); err == nil {
 				ratios["greedy"][trial] = s.Cost / b
 			}
-			if s, err := sched.ScheduleAll(ins, sched.Options{Lazy: true}); err == nil {
+			if s, err := sched.ScheduleAll(ins, sched.Options{Lazy: true, Workers: cfg.Workers}); err == nil {
 				ratios["lazy"][trial] = s.Cost / b
 			}
 			if s, err := schedexact.AlwaysOn(ins); err == nil {

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/bipartite"
@@ -27,6 +28,12 @@ type Model struct {
 	// lookups (they sit inside the greedy's candidate loops).
 	timesByProc [][]int // sorted distinct slot times per processor
 	slotsByProc [][]int // X indices parallel to timesByProc
+
+	// ivScratch is the candidate-interval buffer reused across solves
+	// (buildCandidates re-prices candidates on every solve; sessions
+	// re-solve after every mutation). Reuse is why a Model must not run
+	// concurrent solves — already the documented contract.
+	ivScratch []Interval
 }
 
 // NewModel builds the bipartite formulation. Only slots usable by some job
@@ -36,10 +43,10 @@ func NewModel(ins *Instance) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{Ins: ins, SlotIndex: map[SlotKey]int{}}
-	type edge struct{ x, y int }
-	var edges []edge
+	var edges []bipartite.Edge
+	seen := map[SlotKey]bool{} // reused across jobs: one map, cleared per job
 	for j, job := range ins.Jobs {
-		seen := map[SlotKey]bool{}
+		clear(seen)
 		for _, s := range job.Allowed {
 			if seen[s] {
 				continue // duplicate Allowed entries are harmless input noise
@@ -51,13 +58,11 @@ func NewModel(ins *Instance) (*Model, error) {
 				m.SlotIndex[s] = idx
 				m.Slots = append(m.Slots, s)
 			}
-			edges = append(edges, edge{idx, j})
+			edges = append(edges, bipartite.Edge{X: idx, Y: j})
 		}
 	}
 	m.G = bipartite.NewGraph(len(m.Slots), len(ins.Jobs))
-	for _, e := range edges {
-		m.G.AddEdge(e.x, e.y)
-	}
+	m.G.AddEdges(edges)
 	m.Values = make([]float64, len(ins.Jobs))
 	for j, job := range ins.Jobs {
 		m.Values[j] = job.Value
@@ -125,15 +130,26 @@ func (m *Model) addJob(job Job) {
 
 // Candidates enumerates candidate awake intervals under the policy.
 func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
+	return m.appendCandidates(nil, policy)
+}
+
+// appendCandidates appends the policy's enumeration to out, growing it to
+// the exact final size up front so the enumeration loops never reallocate
+// (buildCandidates feeds a reusable buffer through here every solve).
+func (m *Model) appendCandidates(out []Interval, policy CandidatePolicy) ([]Interval, error) {
 	switch policy {
 	case SingleSlots:
-		out := make([]Interval, len(m.Slots))
-		for i, s := range m.Slots {
-			out[i] = Interval{Proc: s.Proc, Start: s.Time, End: s.Time + 1}
+		out = slices.Grow(out, len(m.Slots))
+		for _, s := range m.Slots {
+			out = append(out, Interval{Proc: s.Proc, Start: s.Time, End: s.Time + 1})
 		}
 		return out, nil
 	case EventPoints:
-		var out []Interval
+		total := 0
+		for _, times := range m.timesByProc {
+			total += len(times) * (len(times) + 1) / 2
+		}
+		out = slices.Grow(out, total)
 		for proc := 0; proc < m.Ins.Procs; proc++ {
 			times := m.timesByProc[proc]
 			for i := range times {
@@ -153,7 +169,7 @@ func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
 			return nil, fmt.Errorf("sched: AllPairs would enumerate ~%.3g intervals; use EventPoints",
 				float64(p)*float64(h)*float64(h)/2)
 		}
-		var out []Interval
+		out = slices.Grow(out, m.Ins.Procs*h*(h+1)/2)
 		for proc := 0; proc < m.Ins.Procs; proc++ {
 			for s := 0; s < h; s++ {
 				for e := s + 1; e <= h; e++ {
@@ -170,7 +186,11 @@ func (m *Model) Candidates(policy CandidatePolicy) ([]Interval, error) {
 // IntervalItems returns the X indices of usable slots inside iv, in
 // increasing time order. A binary search plus a linear walk over the
 // processor's sorted slots replaces the per-time map lookups the candidate
-// loops used to pay for.
+// loops used to pay for. The returned slice is a view into the model's
+// per-processor index — the caller must not modify it, and it is only
+// valid until the model is next mutated (addJob re-splices the index).
+// Candidate lists are rebuilt per solve, so solver-internal callers are
+// always within that window.
 func (m *Model) IntervalItems(iv Interval) []int {
 	times := m.timesByProc[iv.Proc]
 	lo := sort.SearchInts(times, iv.Start)
@@ -181,7 +201,7 @@ func (m *Model) IntervalItems(iv Interval) []int {
 	if lo == hi {
 		return nil
 	}
-	return append([]int(nil), m.slotsByProc[iv.Proc][lo:hi]...)
+	return m.slotsByProc[iv.Proc][lo:hi:hi]
 }
 
 // candidate pairs an interval with its precomputed cost and slot items.
@@ -196,10 +216,11 @@ type candidate struct {
 // (unavailable) and slotless intervals are dropped; negative costs are an
 // input error.
 func (m *Model) buildCandidates(policy CandidatePolicy, extra []Interval) ([]candidate, error) {
-	ivs, err := m.Candidates(policy)
+	ivs, err := m.appendCandidates(m.ivScratch[:0], policy)
 	if err != nil {
 		return nil, err
 	}
+	m.ivScratch = ivs // keep the grown buffer for the next re-pricing
 	for _, iv := range extra {
 		if iv.Proc < 0 || iv.Proc >= m.Ins.Procs || iv.Start < 0 || iv.End > m.Ins.Horizon || iv.Start >= iv.End {
 			return nil, fmt.Errorf("sched: extra candidate %v outside instance", iv)
@@ -225,13 +246,17 @@ func (m *Model) buildCandidates(policy CandidatePolicy, extra []Interval) ([]can
 }
 
 // budgetSubsets converts candidates to budget.Subset values over the slot
-// universe. Labels are left empty: nothing reads them, and rendering one
-// Sprintf per candidate showed up in greedy profiles.
-func budgetSubsets(n int, cands []candidate) []budget.Subset {
+// universe, passing the candidates' slot lists through as element-list
+// subsets (budget.Subset.Elems) — no per-candidate bitset is ever built;
+// the old bitset round-trip (FromSlice here, Elements back inside the
+// greedy workspace) dominated ScheduleAll's allocation profile. Labels
+// are left empty: nothing reads them, and rendering one Sprintf per
+// candidate showed up in greedy profiles.
+func budgetSubsets(cands []candidate) []budget.Subset {
 	subs := make([]budget.Subset, len(cands))
 	for i, c := range cands {
 		subs[i] = budget.Subset{
-			Items: bitset.FromSlice(n, c.items),
+			Elems: c.items,
 			Cost:  c.cost,
 		}
 	}
@@ -257,11 +282,33 @@ func (f matchFn) NewIncremental() submodular.Incremental {
 	return &matchOracle{fn: f, mat: bipartite.NewMatcher(f.m.G)}
 }
 
-// matchOracle adapts bipartite.Matcher to submodular.Incremental.
+// matchOracle adapts bipartite.Matcher to submodular.Incremental and
+// submodular.DeltaOracle. The delta for one committed batch is the
+// matcher's forward journal — the (x, y) assignments its augmenting
+// searches performed — so a replica reproduces the exact matching by
+// replaying writes instead of re-running the searches. Matchers cannot be
+// copy-on-write (probes mutate the match arrays before rolling back), so
+// there is no Replica method; replicas are deep clones synced by journal.
 type matchOracle struct {
-	fn  matchFn
-	mat *bipartite.Matcher
+	fn    matchFn
+	mat   *bipartite.Matcher
+	epoch uint64
+	delta *matchDelta // reusable CommitDelta buffer, created on first use
 }
+
+// matchDelta is matchOracle's submodular.Delta: the committed slot
+// vertices, the matcher's assignment journal, and the realized gain. The
+// journal slice is owned by the committing matcher and valid until its
+// next journaled commit — the same cadence that invalidates the delta.
+type matchDelta struct {
+	epoch   uint64
+	xs      []int
+	journal []bipartite.MatchAssign
+	gain    int
+}
+
+// DeltaEpoch implements submodular.Delta.
+func (d *matchDelta) DeltaEpoch() uint64 { return d.epoch }
 
 // Universe implements submodular.Function.
 func (o *matchOracle) Universe() int { return o.fn.Universe() }
@@ -279,15 +326,61 @@ func (o *matchOracle) Value() float64 { return float64(o.mat.Size()) }
 func (o *matchOracle) Gain(items []int) float64 { return float64(o.mat.GainOfSet(items)) }
 
 // Commit implements submodular.Incremental.
-func (o *matchOracle) Commit(items []int) float64 { return float64(o.mat.EnableSet(items)) }
+func (o *matchOracle) Commit(items []int) float64 {
+	o.epoch++
+	return float64(o.mat.EnableSet(items))
+}
+
+// Epoch implements submodular.DeltaOracle.
+func (o *matchOracle) Epoch() uint64 { return o.epoch }
+
+// CommitDelta implements submodular.DeltaOracle.
+func (o *matchOracle) CommitDelta(items []int) (submodular.Delta, float64) {
+	if o.delta == nil {
+		o.delta = &matchDelta{}
+	}
+	d := o.delta
+	d.xs = append(d.xs[:0], items...)
+	gain, journal := o.mat.EnableSetJournaled(items)
+	o.epoch++
+	d.epoch = o.epoch
+	d.journal = journal
+	d.gain = gain
+	return d, float64(gain)
+}
+
+// ApplyDelta implements submodular.DeltaOracle.
+func (o *matchOracle) ApplyDelta(d submodular.Delta) error {
+	md, ok := d.(*matchDelta)
+	if !ok {
+		return fmt.Errorf("sched: matchOracle cannot apply foreign delta %T", d)
+	}
+	switch md.epoch {
+	case o.epoch:
+		return nil
+	case o.epoch + 1:
+	default:
+		return fmt.Errorf("sched: matchOracle delta for epoch %d applied at epoch %d", md.epoch, o.epoch)
+	}
+	o.mat.ApplyJournal(md.xs, md.journal, md.gain)
+	o.epoch++
+	return nil
+}
 
 // Reset implements submodular.Incremental.
-func (o *matchOracle) Reset() { o.mat = bipartite.NewMatcher(o.fn.m.G) }
+func (o *matchOracle) Reset() {
+	o.mat = bipartite.NewMatcher(o.fn.m.G)
+	o.epoch = 0
+}
 
 // Clone implements submodular.Incremental: an independent matcher replica
-// over the shared graph, for the parallel greedy's per-worker shards.
+// over the shared graph, for the parallel greedy's per-worker shards. The
+// reusable delta buffer stays with the original —
+//
+//	a clone's CommitDelta must not invalidate a delta the original
+//	handed out.
 func (o *matchOracle) Clone() submodular.Incremental {
-	return &matchOracle{fn: o.fn, mat: o.mat.Clone()}
+	return &matchOracle{fn: o.fn, mat: o.mat.Clone(), epoch: o.epoch}
 }
 
 // weightedMatchFn is Lemma 2.3.2's utility: F(S) = maximum total job value
@@ -310,11 +403,27 @@ func (f weightedMatchFn) NewIncremental() submodular.Incremental {
 	return &weightedOracle{fn: f, mat: bipartite.NewWeightedMatcher(f.m.G, f.m.Values, f.m.Order)}
 }
 
-// weightedOracle adapts bipartite.WeightedMatcher to submodular.Incremental.
+// weightedOracle adapts bipartite.WeightedMatcher to submodular.Incremental
+// and submodular.DeltaOracle, with the same journal-replay delta scheme as
+// matchOracle (see there for the ownership and no-COW rationale).
 type weightedOracle struct {
-	fn  weightedMatchFn
-	mat *bipartite.WeightedMatcher
+	fn    weightedMatchFn
+	mat   *bipartite.WeightedMatcher
+	epoch uint64
+	delta *weightedDelta
 }
+
+// weightedDelta is weightedOracle's submodular.Delta; ownership matches
+// matchDelta.
+type weightedDelta struct {
+	epoch   uint64
+	xs      []int
+	journal []bipartite.MatchAssign
+	gain    float64
+}
+
+// DeltaEpoch implements submodular.Delta.
+func (d *weightedDelta) DeltaEpoch() uint64 { return d.epoch }
 
 // Universe implements submodular.Function.
 func (o *weightedOracle) Universe() int { return o.fn.Universe() }
@@ -332,16 +441,56 @@ func (o *weightedOracle) Value() float64 { return o.mat.Value() }
 func (o *weightedOracle) Gain(items []int) float64 { return o.mat.GainOfSet(items) }
 
 // Commit implements submodular.Incremental.
-func (o *weightedOracle) Commit(items []int) float64 { return o.mat.EnableSet(items) }
+func (o *weightedOracle) Commit(items []int) float64 {
+	o.epoch++
+	return o.mat.EnableSet(items)
+}
+
+// Epoch implements submodular.DeltaOracle.
+func (o *weightedOracle) Epoch() uint64 { return o.epoch }
+
+// CommitDelta implements submodular.DeltaOracle.
+func (o *weightedOracle) CommitDelta(items []int) (submodular.Delta, float64) {
+	if o.delta == nil {
+		o.delta = &weightedDelta{}
+	}
+	d := o.delta
+	d.xs = append(d.xs[:0], items...)
+	gain, journal := o.mat.EnableSetJournaled(items)
+	o.epoch++
+	d.epoch = o.epoch
+	d.journal = journal
+	d.gain = gain
+	return d, gain
+}
+
+// ApplyDelta implements submodular.DeltaOracle.
+func (o *weightedOracle) ApplyDelta(d submodular.Delta) error {
+	wd, ok := d.(*weightedDelta)
+	if !ok {
+		return fmt.Errorf("sched: weightedOracle cannot apply foreign delta %T", d)
+	}
+	switch wd.epoch {
+	case o.epoch:
+		return nil
+	case o.epoch + 1:
+	default:
+		return fmt.Errorf("sched: weightedOracle delta for epoch %d applied at epoch %d", wd.epoch, o.epoch)
+	}
+	o.mat.ApplyJournal(wd.xs, wd.journal, wd.gain)
+	o.epoch++
+	return nil
+}
 
 // Reset implements submodular.Incremental.
 func (o *weightedOracle) Reset() {
 	o.mat = bipartite.NewWeightedMatcher(o.fn.m.G, o.fn.m.Values, o.fn.m.Order)
+	o.epoch = 0
 }
 
 // Clone implements submodular.Incremental.
 func (o *weightedOracle) Clone() submodular.Incremental {
-	return &weightedOracle{fn: o.fn, mat: o.mat.Clone()}
+	return &weightedOracle{fn: o.fn, mat: o.mat.Clone(), epoch: o.epoch}
 }
 
 // Functions exposed for property tests.
@@ -350,6 +499,8 @@ var (
 	_ submodular.Function            = weightedMatchFn{}
 	_ submodular.IncrementalProvider = matchFn{}
 	_ submodular.IncrementalProvider = weightedMatchFn{}
+	_ submodular.DeltaOracle         = (*matchOracle)(nil)
+	_ submodular.DeltaOracle         = (*weightedOracle)(nil)
 )
 
 // MatchingUtility returns Lemma 2.2.2's F for external property tests.

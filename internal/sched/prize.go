@@ -52,7 +52,7 @@ func prizeCollecting(model *Model, z float64, opts Options) (*Schedule, error) {
 	}
 	prob := budget.Problem{
 		F:         weightedMatchFn{model},
-		Subsets:   budgetSubsets(len(model.Slots), cands),
+		Subsets:   budgetSubsets(cands),
 		Threshold: z,
 	}
 	run := budget.Greedy
@@ -60,7 +60,8 @@ func prizeCollecting(model *Model, z float64, opts Options) (*Schedule, error) {
 		run = budget.LazyGreedy
 	}
 	res, err := run(prob, budget.Options{
-		Eps: eps, Workers: opts.Workers, Parallel: opts.Parallel, PlainEval: opts.PlainOracle,
+		Eps: eps, Workers: opts.Workers, Parallel: opts.Parallel,
+		PlainEval: opts.PlainOracle, NoDeltaReplay: opts.NoDeltaReplay,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: greedy failed: %w", err)

@@ -131,6 +131,12 @@ type Options struct {
 	// Hopcroft–Karp / weighted rebuild per probe) instead of the default
 	// incremental matchers — the ablation A3 baseline.
 	PlainOracle bool
+	// NoDeltaReplay disables the greedy's per-round delta replay across
+	// worker replicas (budget.Options.NoDeltaReplay): replicas fall back
+	// to replaying every pick's Commit themselves. The computed schedule
+	// is identical either way; the knob exists for the conformance matrix
+	// and ablations.
+	NoDeltaReplay bool
 	// Fast is deprecated: the incremental-matcher oracle it used to select
 	// is now the default for every greedy variant. The field is retained
 	// for compatibility and ignored.

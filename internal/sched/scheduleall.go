@@ -23,8 +23,9 @@ func ScheduleAll(ins *Instance, opts Options) (*Schedule, error) {
 // ScheduleAll runs Theorem 2.2.1's algorithm on the prebuilt model. Reusing
 // one Model across calls on the same instance (as the serving layer's
 // workers do for a batch) amortizes graph construction and the
-// per-processor slot indexes; the method itself does not mutate the model,
-// but a Model must not be shared between goroutines running concurrently.
+// per-processor slot indexes. Solves reuse per-model scratch buffers
+// (candidate enumeration and re-pricing), so a Model must not be shared
+// between goroutines running concurrently — the contract it always had.
 func (m *Model) ScheduleAll(opts Options) (*Schedule, error) {
 	n := len(m.Ins.Jobs)
 	if n == 0 {
@@ -39,7 +40,8 @@ func (m *Model) ScheduleAll(opts Options) (*Schedule, error) {
 		run = budget.LazyGreedy
 	}
 	res, err := run(in.prob, budget.Options{
-		Eps: in.eps, Workers: opts.Workers, Parallel: opts.Parallel, PlainEval: opts.PlainOracle,
+		Eps: in.eps, Workers: opts.Workers, Parallel: opts.Parallel,
+		PlainEval: opts.PlainOracle, NoDeltaReplay: opts.NoDeltaReplay,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: greedy failed: %w", err)
@@ -86,7 +88,7 @@ func (m *Model) scheduleAllInput(opts Options) (*solveInput, error) {
 		cands: cands,
 		prob: budget.Problem{
 			F:         matchFn{m},
-			Subsets:   budgetSubsets(len(m.Slots), cands),
+			Subsets:   budgetSubsets(cands),
 			Threshold: float64(n),
 		},
 		eps: eps,

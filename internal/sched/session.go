@@ -328,7 +328,8 @@ func (s *Session) Solve() (*Schedule, error) {
 		}
 	}
 	sw, err := budget.NewStepwise(in.prob, budget.Options{
-		Eps: in.eps, Workers: s.opts.Workers, Parallel: s.opts.Parallel, PlainEval: s.opts.PlainOracle,
+		Eps: in.eps, Workers: s.opts.Workers, Parallel: s.opts.Parallel,
+		PlainEval: s.opts.PlainOracle, NoDeltaReplay: s.opts.NoDeltaReplay,
 	}, hints)
 	if err != nil {
 		return nil, fmt.Errorf("sched: greedy failed: %w", err)
