@@ -14,7 +14,8 @@
 //	  "cost": {"model": "affine", "alpha": 2, "rate": 1},
 //	  "jobs": [{"value": 1, "allowed": [{"proc": 0, "time": 3}, ...]}, ...],
 //	  "mode": "all" | "prize" | "prize-exact",
-//	  "z": 10.0, "eps": 0.1, "improve": false
+//	  "z": 10.0, "eps": 0.1, "improve": false,
+//	  "solver": "exact" | "streaming"
 //	}
 //
 // Cost models: "affine" {alpha, rate}; "perproc" {alphas, rates};
@@ -25,7 +26,10 @@
 //
 // Solve flags: -workers sets the greedy's candidate-probe parallelism
 // (sharded incremental-oracle replicas; identical schedules at any count,
-// the JSON "workers" field wins when set).
+// the JSON "workers" field wins when set); -solver exact|streaming picks
+// the mode-"all" greedy tier — "streaming" routes instances at or above
+// the streaming threshold through the bounded-memory sieve instead of
+// the exact stepwise greedy (below it the flag is a no-op).
 //
 // Serve flags: -addr (default :8080), -workers, -queue, -cache,
 // -probe-workers (default per-request greedy parallelism for requests
@@ -56,7 +60,10 @@
 // Simulate flags: -trace poisson|diurnal|frontloaded, -cost
 // affine|speedscaled|sleepstate|composite, -procs, -horizon, -jobs,
 // -window, -seed, -alpha (wake cost, all models), -rate (per-slot cost;
-// read by affine and sleepstate only), -workers. The run is
+// read by affine and sleepstate only), -workers, -solver
+// exact|streaming (streaming re-solves arrivals through the sieve tier
+// once the accumulated instance crosses the streaming threshold). The
+// run is
 // deterministic per seed; the JSON report compares the committed online
 // schedule against the clairvoyant offline solve of the same trace, and
 // for sleep-state models also reports the gap-aware hardware cost of the
@@ -85,7 +92,7 @@ import (
 	"repro/internal/workload"
 )
 
-func run(in io.Reader, out io.Writer, workers int) error {
+func run(in io.Reader, out io.Writer, workers int, solver string) error {
 	data, err := io.ReadAll(in)
 	if err != nil {
 		return err
@@ -96,6 +103,16 @@ func run(in io.Reader, out io.Writer, workers int) error {
 	}
 	if req.Opts.Workers == 0 {
 		req.Opts.Workers = workers
+	}
+	switch solver {
+	case "", "exact":
+	case "streaming":
+		if req.Mode != service.ModeAll {
+			return fmt.Errorf("-solver streaming requires mode \"all\", got %q", req.Mode)
+		}
+		req.Opts.Streaming = true
+	default:
+		return fmt.Errorf("unknown -solver %q (want exact or streaming)", solver)
 	}
 	s, err := service.Solve(req)
 	if err != nil {
@@ -109,6 +126,7 @@ func run(in io.Reader, out io.Writer, workers int) error {
 func solveMain(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "greedy probe parallelism (0 = serial; schedules are identical at any count)")
+	solver := fs.String("solver", "", "greedy tier for mode \"all\": exact (default) | streaming (bounded-memory sieve above the streaming threshold)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,7 +139,7 @@ func solveMain(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	return run(in, os.Stdout, *workers)
+	return run(in, os.Stdout, *workers, *solver)
 }
 
 func serveMain(args []string) error {
@@ -273,8 +291,17 @@ func simulateMain(args []string, out io.Writer) error {
 	alpha := fs.Float64("alpha", 4, "wake cost (all cost models)")
 	rate := fs.Float64("rate", 1, "per-slot cost (affine and sleepstate; speedscaled/composite derive slot costs from the speed ramp)")
 	workers := fs.Int("workers", 0, "greedy probe parallelism inside each re-solve")
+	solver := fs.String("solver", "", "re-solve tier: exact (default) | streaming (sieve re-solves once the instance crosses the streaming threshold)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	opts := sched.Options{Workers: *workers}
+	switch *solver {
+	case "", "exact":
+	case "streaming":
+		opts.Streaming = true
+	default:
+		return fmt.Errorf("unknown -solver %q (want exact or streaming)", *solver)
 	}
 	gens := map[string]func(*rand.Rand, workload.TraceParams) *workload.ArrivalTrace{
 		"poisson":     workload.PoissonBurstTrace,
@@ -297,7 +324,7 @@ func simulateMain(args []string, out io.Writer) error {
 		return err
 	}
 	tr := gen(rand.New(rand.NewSource(*seed)), params)
-	rep, err := online.RunTrace(tr, sched.Options{Workers: *workers})
+	rep, err := online.RunTrace(tr, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,102 @@
+// Package streambound enforces the sieve tier's bounded-work contract:
+// streaming code must stay on the incremental oracle surface. The
+// sieve's whole value is Õ(1) work per offered candidate — a call to
+// Function.Eval re-walks the full ground set, silently turning the
+// "single pass, bounded memory" tier back into the quadratic batch
+// algorithm it exists to replace. The regression is invisible to the
+// differential tests (picks stay identical; only the cost explodes), so
+// it is pinned statically instead.
+//
+// Scope: in the streaming-critical packages (budget and sched), a
+// function is stream-scoped when its own name or its receiver type's
+// name contains "sieve" or "stream" (case-insensitive) — Sieve methods,
+// RunSieve, sieveReduce, scheduleAllStreaming, and friends. Inside a
+// stream-scoped body every call of a method or function named Eval is
+// flagged; decisions there must go through Incremental.Gain /
+// Value / Commit, whose per-candidate cost the memory-bound tests
+// meter. Declaring an Eval method (residualMatchFn.Eval implements
+// submodular.Function for the conformance comparators) is fine — only
+// calls are the contract breach.
+//
+// A genuinely bounded Eval — e.g. a one-off F(∅) evaluation at stream
+// open — carries the escape hatch on its line or the line above:
+//
+//	base := f.Eval(empty) //powersched:stream-exempt one-time F(∅) anchor
+package streambound
+
+import (
+	"go/ast"
+	"path"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the streambound check.
+var Analyzer = &analysis.Analyzer{
+	Name: "streambound",
+	Doc:  "streaming sieve code must not call Eval; per-candidate work goes through the incremental surface",
+	Run:  run,
+}
+
+// streamPackages are the packages holding the streaming tier: the sieve
+// itself and its scheduling face.
+var streamPackages = map[string]bool{
+	"budget": true,
+	"sched":  true,
+}
+
+// streamScoped reports whether fn belongs to the streaming tier by the
+// naming convention: its name or receiver type name mentions the sieve
+// or streaming.
+func streamScoped(fn *ast.FuncDecl) bool {
+	name := strings.ToLower(fn.Name.Name)
+	if strings.Contains(name, "sieve") || strings.Contains(name, "stream") {
+		return true
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := fn.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			recv := strings.ToLower(id.Name)
+			if strings.Contains(recv, "sieve") || strings.Contains(recv, "stream") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !streamPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !streamScoped(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Eval" {
+					return true
+				}
+				if _, ok := analysis.Annotation(pass.Fset, f, call.Pos(), "stream-exempt"); ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"Eval call in stream-scoped %s: the sieve's bounded per-candidate work contract requires the incremental surface (Gain/Value/Commit); annotate //powersched:stream-exempt if this evaluation is genuinely O(1)-per-stream",
+					fn.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

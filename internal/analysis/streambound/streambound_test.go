@@ -1,0 +1,12 @@
+package streambound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/streambound"
+)
+
+func TestStreambound(t *testing.T) {
+	analysistest.Run(t, "testdata", streambound.Analyzer, "budget", "other")
+}

@@ -1,0 +1,66 @@
+// Fixture: a streaming-critical package. Eval calls inside
+// stream-scoped functions (name or receiver mentioning sieve/stream)
+// must be flagged; the incremental surface, Eval declarations, Eval in
+// batch-tier code, and annotated exemptions must not.
+package budget
+
+type fn interface {
+	Universe() int
+	Eval(s []bool) float64
+	Gain(items []int) float64
+	Commit(items []int)
+}
+
+type sieve struct {
+	f    fn
+	base float64
+	util float64
+}
+
+// newSieve's one-time F(∅) anchor is the sanctioned exemption: one Eval
+// per stream, not per candidate.
+func newSieve(f fn) *sieve {
+	base := f.Eval(nil) //powersched:stream-exempt one-time F(∅) anchor at stream open
+	return &sieve{f: f, base: base}
+}
+
+// Offer is stream-scoped through its receiver: the per-candidate path
+// must stay on Gain, and the full-set re-evaluation is the bug.
+func (sv *sieve) Offer(items []int) {
+	if g := sv.f.Gain(items); g > 0 {
+		sv.f.Commit(items)
+		sv.util += sv.f.Eval(nil) - sv.base // want `Eval call in stream-scoped Offer`
+	}
+}
+
+// runStreamPass is stream-scoped by name.
+func runStreamPass(f fn, cands [][]bool) float64 {
+	total := 0.0
+	for _, c := range cands {
+		total += f.Eval(c) // want `Eval call in stream-scoped runStreamPass`
+	}
+	return total
+}
+
+// exactGreedy is batch-tier code: re-evaluating the grown set per round
+// is its documented cost model, not a streaming contract breach.
+func exactGreedy(f fn, cands [][]bool) float64 {
+	best := 0.0
+	for _, c := range cands {
+		if v := f.Eval(c); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// refSieveUtility declares an Eval of its own; declaring is fine, and
+// the annotated call form (same line) is exempt too.
+type streamStats struct{ f fn }
+
+func (s streamStats) Eval(v []bool) float64 { return s.f.Eval(v) } // want `Eval call in stream-scoped Eval`
+
+func (s streamStats) anchor() float64 {
+	//powersched:stream-exempt one bounded evaluation at close
+	return s.f.Eval(nil)
+}

@@ -1,0 +1,7 @@
+// Fixture: a package outside the streaming-critical set — even
+// stream-named functions calling Eval are not this analyzer's business.
+package other
+
+type fn interface{ Eval(s []bool) float64 }
+
+func runSieveStream(f fn) float64 { return f.Eval(nil) }

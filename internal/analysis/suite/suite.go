@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis/netfaultonly"
 	"repro/internal/analysis/nopaniccost"
 	"repro/internal/analysis/oracleclone"
+	"repro/internal/analysis/streambound"
 )
 
 // Analyzers returns the full contract-linting suite.
@@ -21,6 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 		oracleclone.Analyzer,
 		deltashare.Analyzer,
 		detrand.Analyzer,
+		streambound.Analyzer,
 		nopaniccost.Analyzer,
 		faultfsonly.Analyzer,
 		netfaultonly.Analyzer,

@@ -31,22 +31,14 @@ func (m *Model) ScheduleAll(opts Options) (*Schedule, error) {
 	if n == 0 {
 		return &Schedule{Assignment: []SlotKey{}}, nil
 	}
+	if opts.Streaming && n >= opts.streamThreshold() {
+		return m.scheduleAllStreaming(opts)
+	}
 	in, err := m.scheduleAllInput(opts)
 	if err != nil {
 		return nil, err
 	}
-	run := budget.Greedy
-	if opts.Lazy {
-		run = budget.LazyGreedy
-	}
-	res, err := run(in.prob, budget.Options{
-		Eps: in.eps, Workers: opts.Workers, Parallel: opts.Parallel,
-		PlainEval: opts.PlainOracle, NoDeltaReplay: opts.NoDeltaReplay,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sched: greedy failed: %w", err)
-	}
-	return m.finishScheduleAll(opts, in, res)
+	return m.scheduleAllExact(opts, in, 0)
 }
 
 // solveInput is the prepared greedy problem for one schedule-all run: the

@@ -38,12 +38,19 @@ func TestOfflineGreedyWorkersMatchesSerial(t *testing.T) {
 		} {
 			k := 1 + rng.Intn(n)
 			ref := OfflineGreedyCardinality(f, k)
-			for _, workers := range []int{2, 4, 8} {
-				got := OfflineGreedyCardinalityWorkers(f, k, workers)
-				if !got.Equal(ref) {
-					t.Fatalf("%s trial %d workers=%d: selection diverged: %v vs %v",
-						name, trial, workers, got, ref)
+			for _, workers := range []int{1, 2, 4, 8} {
+				for _, noDelta := range []bool{false, true} {
+					got := OfflineGreedyCardinalityOpts(f, k, OfflineOptions{
+						Workers: workers, NoDeltaReplay: noDelta,
+					})
+					if !got.Equal(ref) {
+						t.Fatalf("%s trial %d workers=%d noDelta=%v: selection diverged: %v vs %v",
+							name, trial, workers, noDelta, got, ref)
+					}
 				}
+			}
+			if got := OfflineGreedyCardinalityWorkers(f, k, 4); !got.Equal(ref) {
+				t.Fatalf("%s trial %d: Workers wrapper diverged: %v vs %v", name, trial, got, ref)
 			}
 		}
 	}

@@ -80,6 +80,12 @@ type InstanceSpec struct {
 	Z       float64 `json:"z,omitempty"`
 	Eps     float64 `json:"eps,omitempty"`
 	Improve bool    `json:"improve,omitempty"`
+	// Solver picks the greedy tier for mode "all": "exact" (default) is
+	// the warm-startable stepwise greedy; "streaming" routes instances at
+	// or above sched.DefaultStreamThreshold jobs through the bounded-
+	// memory sieve (sched.Options.Streaming) and is rejected for the
+	// prize modes, which have no streaming tier.
+	Solver string `json:"solver,omitempty"`
 	// Workers is the per-request greedy parallelism (sched.Options
 	// .Workers): concurrent candidate probes over sharded incremental-
 	// oracle replicas. The schedule is identical at any worker count, so
@@ -258,11 +264,22 @@ func BuildRequest(spec InstanceSpec) (Request, error) {
 	default:
 		return Request{}, fmt.Errorf("unknown mode %q", spec.Mode)
 	}
+	opts := sched.Options{Eps: spec.Eps, Workers: spec.Workers}
+	switch spec.Solver {
+	case "", "exact":
+	case "streaming":
+		if mode != ModeAll {
+			return Request{}, fmt.Errorf("solver %q requires mode \"all\", got %q", spec.Solver, spec.Mode)
+		}
+		opts.Streaming = true
+	default:
+		return Request{}, fmt.Errorf("unknown solver %q", spec.Solver)
+	}
 	return Request{
 		Instance:    ins,
 		Mode:        mode,
 		Z:           spec.Z,
-		Opts:        sched.Options{Eps: spec.Eps, Workers: spec.Workers},
+		Opts:        opts,
 		Improve:     spec.Improve,
 		InstanceKey: InstanceDigest(spec),
 	}, nil

@@ -112,6 +112,48 @@ func TestDecodeRequestDefaultsAndErrors(t *testing.T) {
 	}
 }
 
+func TestDecodeRequestSolverField(t *testing.T) {
+	base := `{"procs":1,"horizon":3,"cost":{"alpha":1,"rate":1},
+		"jobs":[{"allowed":[{"proc":0,"time":0}]}]`
+	req, err := DecodeRequest([]byte(base + `,"solver":"streaming"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Opts.Streaming {
+		t.Fatal(`"solver":"streaming" did not set Opts.Streaming`)
+	}
+	for _, solver := range []string{"", "exact"} {
+		req, err = DecodeRequest([]byte(base + `,"solver":"` + solver + `"}`))
+		if err != nil {
+			t.Fatalf("solver %q: %v", solver, err)
+		}
+		if req.Opts.Streaming {
+			t.Fatalf("solver %q set Opts.Streaming", solver)
+		}
+	}
+	if _, err := DecodeRequest([]byte(base + `,"solver":"quantum"}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("bad solver err = %v", err)
+	}
+	// Streaming has no prize tier.
+	if _, err := DecodeRequest([]byte(base + `,"mode":"prize","z":1,"solver":"streaming"}`)); err == nil ||
+		!strings.Contains(err.Error(), `requires mode "all"`) {
+		t.Fatalf("prize+streaming err = %v", err)
+	}
+	// Streaming requests must not share cache entries with exact ones.
+	exactReq, err := DecodeRequest([]byte(base + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamReq, err := DecodeRequest([]byte(base + `,"solver":"streaming"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheKey(exactReq) == cacheKey(streamReq) {
+		t.Fatal("exact and streaming requests share a cache key")
+	}
+}
+
 func TestEncodeScheduleRoundtrip(t *testing.T) {
 	req, err := BuildRequest(testSpec(2, 8, 4, CostSpec{Model: "affine", Alpha: 2, Rate: 1}))
 	if err != nil {

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Fails the CI multicore perf job when the W4 worker-sweep speedup drops
+# below the committed floor (scripts/multicore_floor.txt) — the teeth the
+# informational "W4 speedup report" step never had.
+#
+# Usage: scripts/multicore_ratchet.sh BENCH_multicore_ci.json [floor.txt]
+#
+# The snapshot's own environment metadata (bench_snapshot.sh records
+# num_cpu per capture) gates the check: on runners with fewer than 4 CPUs
+# the W4 sweep only measures goroutine coordination overhead — speedup is
+# structurally ~1.0x there, so the ratchet skips with exit 0 instead of
+# producing a false failure. The dev-container snapshots (num_cpu 1) are
+# therefore never gated; only genuinely multi-core runs are held to the
+# floor.
+#
+# The metric is the geometric mean of serial-ns ÷ W4-ns over the four
+# worker-sweep benchmark ids, matching the informational report. A
+# missing benchmark (renamed id, filtered run) is a hard failure — a
+# ratchet that silently measures nothing is worse than none.
+set -eu
+snap="${1:?usage: multicore_ratchet.sh BENCH_multicore_ci.json [floor.txt]}"
+floor_file="${2:-scripts/multicore_floor.txt}"
+
+floor="$(grep -v '^#' "$floor_file" | grep -v '^[[:space:]]*$' | head -n 1)"
+if [ -z "$floor" ]; then
+    echo "multicore_ratchet: no floor value in $floor_file" >&2
+    exit 1
+fi
+
+num_cpu="$(grep -o '"num_cpu": *[0-9]*' "$snap" | head -n 1 | grep -o '[0-9]*$' || echo 1)"
+if [ "${num_cpu:-1}" -lt 4 ]; then
+    echo "multicore_ratchet: snapshot env num_cpu=${num_cpu:-1} < 4 — W4 speedup only measures coordination overhead; skipping."
+    exit 0
+fi
+
+awk -v floor="$floor" '
+/"name":/ {
+    split($0, p, "\""); name = p[4]
+    if (match($0, /"ns_per_op": *[0-9.]+/)) {
+        s = substr($0, RSTART, RLENGTH); sub(/^[^:]*: */, "", s)
+        ns[name] = s + 0
+    }
+}
+END {
+    split("E2ScheduleAll E3PrizeCollecting E4ExactThreshold A3IncrementalMatching", ids, " ")
+    logsum = 0
+    for (i = 1; i <= 4; i++) {
+        id = ids[i]
+        base = ns["Benchmark" id]; w4 = ns["Benchmark" id "W4"]
+        if (base <= 0 || w4 <= 0) {
+            printf "multicore_ratchet: missing benchmark pair for %s in snapshot\n", id > "/dev/stderr"
+            exit 1
+        }
+        speedup = base / w4
+        logsum += log(speedup)
+        printf "%-26s serial %12.0f ns  W4 %12.0f ns  speedup %.2fx\n", id, base, w4, speedup
+    }
+    geomean = exp(logsum / 4)
+    printf "geomean W4 speedup %.3fx, floor %.3fx\n", geomean, floor
+    if (geomean < floor) {
+        printf "multicore_ratchet: FAIL — geomean %.3fx below floor %.3fx (see scripts/multicore_floor.txt)\n", geomean, floor > "/dev/stderr"
+        exit 1
+    }
+}
+' "$snap"
